@@ -1,0 +1,232 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// (§5). Each benchmark runs its experiment at a reduced-but-faithful scale
+// per iteration and reports the headline quantities as custom metrics, so
+// `go test -bench=. -benchmem` doubles as a smoke reproduction. The
+// full-scale runs (paper parameters) live in cmd/siot-bench.
+package siot_test
+
+import (
+	"testing"
+
+	"siot/internal/core"
+	"siot/internal/experiments"
+	"siot/internal/sim"
+	"siot/internal/stats"
+)
+
+const benchSeed = 42
+
+// BenchmarkTable1Connectivity regenerates Table 1: the connectivity
+// characteristics of the three evaluation networks.
+func BenchmarkTable1Connectivity(b *testing.B) {
+	var clustering float64
+	for i := 0; i < b.N; i++ {
+		res := experiments.RunTable1(benchSeed)
+		clustering = res.Rows[0].Got.AvgClustering
+	}
+	b.ReportMetric(clustering, "fb_clustering")
+}
+
+// BenchmarkFig7Mutuality regenerates Fig. 7: success/unavailable/abuse
+// rates versus the reverse-evaluation threshold θ.
+func BenchmarkFig7Mutuality(b *testing.B) {
+	cfg := experiments.DefaultFig7Config(benchSeed)
+	cfg.Rounds = 10
+	var res experiments.Fig7Result
+	for i := 0; i < b.N; i++ {
+		res = experiments.RunFig7(cfg)
+	}
+	// Abuse at θ=0 vs θ=0.6 on the first network.
+	b.ReportMetric(res.Cells[0].Abuse, "abuse_theta0")
+	b.ReportMetric(res.Cells[2].Abuse, "abuse_theta06")
+}
+
+// BenchmarkFig8Inference regenerates Fig. 8: percentage of honest trustee
+// selections with and without characteristic inference, on the ZigBee
+// testbed simulator.
+func BenchmarkFig8Inference(b *testing.B) {
+	cfg := experiments.DefaultFig8Config(benchSeed)
+	cfg.Experiments = 5
+	var res experiments.Fig8Result
+	for i := 0; i < b.N; i++ {
+		res = experiments.RunFig8(cfg)
+	}
+	b.ReportMetric(stats.Mean(res.WithModel.Y), "pct_honest_with")
+	b.ReportMetric(stats.Mean(res.WithoutModel.Y), "pct_honest_without")
+}
+
+// transitivitySweep runs the shared Figs. 9–11 sweep at bench scale.
+func transitivitySweep(b *testing.B) experiments.TransitivityResult {
+	b.Helper()
+	cfg := experiments.DefaultTransitivityConfig(benchSeed)
+	cfg.CharCounts = []int{4, 7}
+	cfg.Repeats = 1
+	var res experiments.TransitivityResult
+	for i := 0; i < b.N; i++ {
+		res = experiments.RunTransitivitySweep(cfg)
+	}
+	return res
+}
+
+// cellOf finds one sweep cell.
+func cellOf(res experiments.TransitivityResult, network string, pol core.Policy, chars int) experiments.TransitivityCell {
+	for _, c := range res.Cells {
+		if c.Network == network && c.Policy == pol && c.NumChars == chars {
+			return c
+		}
+	}
+	return experiments.TransitivityCell{}
+}
+
+// BenchmarkFig9TransitivitySuccess regenerates Fig. 9: success rate versus
+// the number of characteristics for the three trust-transfer methods.
+func BenchmarkFig9TransitivitySuccess(b *testing.B) {
+	res := transitivitySweep(b)
+	b.ReportMetric(cellOf(res, "facebook", core.PolicyAggressive, 4).Success, "fb_aggr_success")
+	b.ReportMetric(cellOf(res, "facebook", core.PolicyTraditional, 4).Success, "fb_trad_success")
+}
+
+// BenchmarkFig10TransitivityUnavailable regenerates Fig. 10: unavailable
+// rate for the same sweep.
+func BenchmarkFig10TransitivityUnavailable(b *testing.B) {
+	res := transitivitySweep(b)
+	b.ReportMetric(cellOf(res, "facebook", core.PolicyAggressive, 4).Unavailable, "fb_aggr_unavail")
+	b.ReportMetric(cellOf(res, "facebook", core.PolicyTraditional, 4).Unavailable, "fb_trad_unavail")
+}
+
+// BenchmarkFig11PotentialTrustees regenerates Fig. 11: the average number
+// of potential trustees found per method.
+func BenchmarkFig11PotentialTrustees(b *testing.B) {
+	res := transitivitySweep(b)
+	b.ReportMetric(cellOf(res, "facebook", core.PolicyAggressive, 4).AvgPotential, "fb_aggr_potential")
+	b.ReportMetric(cellOf(res, "facebook", core.PolicyTraditional, 4).AvgPotential, "fb_trad_potential")
+}
+
+// BenchmarkFig12SearchOverhead regenerates Fig. 12: the per-trustor count
+// of inquired nodes under each method.
+func BenchmarkFig12SearchOverhead(b *testing.B) {
+	cfg := experiments.DefaultFig12Config(benchSeed)
+	var res experiments.Fig12Result
+	for i := 0; i < b.N; i++ {
+		res = experiments.RunFig12(cfg)
+	}
+	total := func(p core.Policy) (sum float64) {
+		for _, v := range res.PerPolicy[p] {
+			sum += float64(v)
+		}
+		return sum
+	}
+	b.ReportMetric(total(core.PolicyAggressive), "aggr_inquired_total")
+	b.ReportMetric(total(core.PolicyTraditional), "trad_inquired_total")
+}
+
+// BenchmarkTable2RealProperties regenerates Table 2: the transitivity
+// comparison with node profile features as task characteristics.
+func BenchmarkTable2RealProperties(b *testing.B) {
+	cfg := experiments.DefaultTable2Config(benchSeed)
+	cfg.Repeats = 1
+	var res experiments.Table2Result
+	for i := 0; i < b.N; i++ {
+		res = experiments.RunTable2(cfg)
+	}
+	for _, c := range res.Cells {
+		if c.Network == "facebook" && c.Policy == core.PolicyAggressive {
+			b.ReportMetric(c.Success, "fb_aggr_success")
+		}
+		if c.Network == "facebook" && c.Policy == core.PolicyTraditional {
+			b.ReportMetric(c.Success, "fb_trad_success")
+		}
+	}
+}
+
+// BenchmarkFig13NetProfit regenerates Fig. 13: converged net profit of the
+// two delegation strategies.
+func BenchmarkFig13NetProfit(b *testing.B) {
+	cfg := experiments.DefaultFig13Config(benchSeed)
+	cfg.Iterations = 500
+	var res experiments.Fig13Result
+	for i := 0; i < b.N; i++ {
+		res = experiments.RunFig13(cfg)
+	}
+	b.ReportMetric(res.Converged["facebook ("+sim.StrategyNetProfit.String()+")"], "fb_second_profit")
+	b.ReportMetric(res.Converged["facebook ("+sim.StrategySuccessRate.String()+")"], "fb_first_profit")
+}
+
+// BenchmarkFig14ActiveTime regenerates Fig. 14: trustor active time with
+// and without cost-aware evaluation under fragment-stall attackers.
+func BenchmarkFig14ActiveTime(b *testing.B) {
+	cfg := experiments.DefaultFig14Config(benchSeed)
+	cfg.TasksPerTrustor = 20
+	var res experiments.Fig14Result
+	for i := 0; i < b.N; i++ {
+		res = experiments.RunFig14(cfg)
+	}
+	n := len(res.WithModel.Y)
+	b.ReportMetric(stats.Mean(res.WithModel.Y[n-5:]), "late_active_ms_with")
+	b.ReportMetric(stats.Mean(res.WithoutModel.Y[n-5:]), "late_active_ms_without")
+}
+
+// BenchmarkFig15DynamicEnvironment regenerates Fig. 15: environment-step
+// tracking of the expected success rate.
+func BenchmarkFig15DynamicEnvironment(b *testing.B) {
+	cfg := experiments.DefaultFig15Config(benchSeed)
+	cfg.Runs = 20
+	var res experiments.Fig15Result
+	for i := 0; i < b.N; i++ {
+		res = experiments.RunFig15(cfg)
+	}
+	b.ReportMetric(stats.Mean(res.Proposed.Y[160:200]), "proposed_phase2")
+	b.ReportMetric(stats.Mean(res.Traditional.Y[160:200]), "traditional_phase2")
+}
+
+// BenchmarkFig16LightSchedule regenerates Fig. 16: net profit across the
+// light/dark/light schedule with and without environment correction.
+func BenchmarkFig16LightSchedule(b *testing.B) {
+	cfg := experiments.DefaultFig16Config(benchSeed)
+	var res experiments.Fig16Result
+	for i := 0; i < b.N; i++ {
+		res = experiments.RunFig16(cfg)
+	}
+	n := len(res.WithModel.Y)
+	b.ReportMetric(stats.Mean(res.WithModel.Y[n*3/4:]), "final_profit_with")
+	b.ReportMetric(stats.Mean(res.WithoutModel.Y[n*3/4:]), "final_profit_without")
+}
+
+// BenchmarkAblationEq7 quantifies the eq. 7 mistrust term against the plain
+// product of eq. 5 (design-choice ablation, DESIGN.md §6).
+func BenchmarkAblationEq7(b *testing.B) {
+	cfg := experiments.DefaultAblationEq7Config(benchSeed)
+	cfg.Pairs = 5000
+	var res experiments.AblationEq7Result
+	for i := 0; i < b.N; i++ {
+		res = experiments.RunAblationEq7(cfg)
+	}
+	b.ReportMetric(res.RMSEProduct, "product_rmse")
+	b.ReportMetric(res.RMSEEq7, "eq7_rmse")
+}
+
+// BenchmarkAblationCannikin quantifies min-vs-mean environment combination
+// in the removal function r(·).
+func BenchmarkAblationCannikin(b *testing.B) {
+	cfg := experiments.DefaultAblationCannikinConfig(benchSeed)
+	cfg.Runs = 15
+	var res experiments.AblationCannikinResult
+	for i := 0; i < b.N; i++ {
+		res = experiments.RunAblationCannikin(cfg)
+	}
+	b.ReportMetric(res.TrackErrMin, "bias_min")
+	b.ReportMetric(res.TrackErrMean, "bias_mean")
+}
+
+// BenchmarkAblationSelfDelegation quantifies the eq. 24 self-delegation
+// option.
+func BenchmarkAblationSelfDelegation(b *testing.B) {
+	cfg := experiments.DefaultAblationSelfDelegationConfig(benchSeed)
+	cfg.Iterations = 250
+	var res experiments.AblationSelfDelegationResult
+	for i := 0; i < b.N; i++ {
+		res = experiments.RunAblationSelfDelegation(cfg)
+	}
+	b.ReportMetric(res.WithSelf, "profit_with_self")
+	b.ReportMetric(res.WithoutSelf, "profit_without_self")
+}

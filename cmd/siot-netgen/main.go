@@ -1,0 +1,132 @@
+// Command siot-netgen generates the synthetic social networks used by the
+// simulations and prints their connectivity characteristics side by side
+// with the paper's Table 1, or characterizes a real SNAP edge list.
+//
+// Usage:
+//
+//	siot-netgen [-seed N] [-net facebook|gplus|twitter|all] [-edges FILE]
+//
+// With -edges, the file is loaded as a whitespace-separated edge list and
+// characterized instead of generating a synthetic network.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"siot/internal/socialgen"
+)
+
+func main() {
+	seed := flag.Uint64("seed", 1, "generation seed")
+	netName := flag.String("net", "all", "network profile: facebook, gplus, twitter, or all")
+	edgeFile := flag.String("edges", "", "characterize a SNAP edge-list file instead of generating")
+	flag.Parse()
+
+	if *edgeFile != "" {
+		if err := characterizeFile(*edgeFile, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, "siot-netgen:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	var profiles []socialgen.Profile
+	if *netName == "all" {
+		profiles = socialgen.Profiles()
+	} else {
+		p, err := socialgen.ProfileByName(*netName)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "siot-netgen:", err)
+			os.Exit(1)
+		}
+		profiles = []socialgen.Profile{p}
+	}
+
+	fmt.Printf("%-22s", "Metric")
+	for _, p := range profiles {
+		fmt.Printf(" %12s %12s", p.Name, "(paper)")
+	}
+	fmt.Println()
+
+	stats := make([]socialgen.Stats, len(profiles))
+	for i, p := range profiles {
+		net := socialgen.Generate(p, *seed)
+		stats[i] = socialgen.ComputeStats(net.Graph, *seed)
+	}
+	rows := []struct {
+		name string
+		got  func(socialgen.Stats) string
+	}{
+		{"Number of Nodes", func(s socialgen.Stats) string { return fmt.Sprintf("%d", s.Nodes) }},
+		{"Number of Edges", func(s socialgen.Stats) string { return fmt.Sprintf("%d", s.Edges) }},
+		{"Average Degree", func(s socialgen.Stats) string { return fmt.Sprintf("%.2f", s.AvgDegree) }},
+		{"Diameter", func(s socialgen.Stats) string { return fmt.Sprintf("%d", s.Diameter) }},
+		{"Average Path Length", func(s socialgen.Stats) string { return fmt.Sprintf("%.2f", s.AvgPathLength) }},
+		{"Avg Clustering Coeff", func(s socialgen.Stats) string { return fmt.Sprintf("%.2f", s.AvgClustering) }},
+		{"Modularity", func(s socialgen.Stats) string { return fmt.Sprintf("%.2f", s.Modularity) }},
+		{"Number of Communities", func(s socialgen.Stats) string { return fmt.Sprintf("%d", s.Communities) }},
+	}
+	paperRows := []func(socialgen.Stats) string{
+		func(s socialgen.Stats) string { return fmt.Sprintf("%d", s.Nodes) },
+		func(s socialgen.Stats) string { return fmt.Sprintf("%d", s.Edges) },
+		func(s socialgen.Stats) string { return fmt.Sprintf("%.2f", s.AvgDegree) },
+		func(s socialgen.Stats) string { return fmt.Sprintf("%d", s.Diameter) },
+		func(s socialgen.Stats) string { return fmt.Sprintf("%.2f", s.AvgPathLength) },
+		func(s socialgen.Stats) string { return fmt.Sprintf("%.2f", s.AvgClustering) },
+		func(s socialgen.Stats) string { return fmt.Sprintf("%.2f", s.Modularity) },
+		func(s socialgen.Stats) string { return fmt.Sprintf("%d", s.Communities) },
+	}
+	for ri, row := range rows {
+		fmt.Printf("%-22s", row.name)
+		for i, p := range profiles {
+			fmt.Printf(" %12s %12s", row.got(stats[i]), paperRows[ri](p.Paper))
+		}
+		fmt.Println()
+	}
+
+	// Extended analytics (not in the paper's Table 1, useful for
+	// characterizing loaded datasets).
+	fmt.Println()
+	fmt.Printf("%-22s", "Density")
+	for _, p := range profiles {
+		net := socialgen.Generate(p, *seed)
+		fmt.Printf(" %12.3f %12s", net.Graph.Density(), "")
+	}
+	fmt.Println()
+	fmt.Printf("%-22s", "Degree Assortativity")
+	for _, p := range profiles {
+		net := socialgen.Generate(p, *seed)
+		fmt.Printf(" %12.3f %12s", net.Graph.DegreeAssortativity(), "")
+	}
+	fmt.Println()
+	fmt.Printf("%-22s", "Degeneracy (max core)")
+	for _, p := range profiles {
+		net := socialgen.Generate(p, *seed)
+		fmt.Printf(" %12d %12s", net.Graph.Degeneracy(), "")
+	}
+	fmt.Println()
+	fmt.Printf("%-22s", "Triangles")
+	for _, p := range profiles {
+		net := socialgen.Generate(p, *seed)
+		fmt.Printf(" %12d %12s", net.Graph.TriangleCount(), "")
+	}
+	fmt.Println()
+}
+
+func characterizeFile(path string, seed uint64) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	g, err := socialgen.LoadEdgeList(f)
+	if err != nil {
+		return err
+	}
+	s := socialgen.ComputeStats(g, seed)
+	fmt.Printf("Nodes %d  Edges %d  AvgDegree %.2f  Diameter %d  APL %.2f  Clustering %.2f  Modularity %.2f  Communities %d\n",
+		s.Nodes, s.Edges, s.AvgDegree, s.Diameter, s.AvgPathLength, s.AvgClustering, s.Modularity, s.Communities)
+	return nil
+}

@@ -1,0 +1,112 @@
+package siot_test
+
+import (
+	"bytes"
+	"fmt"
+
+	"siot"
+)
+
+// The trust process in miniature: delegate, observe, post-evaluate, decide.
+func Example() {
+	store := siot.NewStore(1, siot.DefaultUpdateConfig())
+	capture := siot.UniformTask(1, siot.CharImage)
+
+	// 30 clean deliveries from trustee 2.
+	for i := 0; i < 30; i++ {
+		store.Observe(2, capture, siot.Outcome{Success: true, Gain: 0.9, Cost: 0.1}, siot.PerfectEnv())
+	}
+	rec, _ := store.Record(2, capture.Type())
+	fmt.Printf("net profit %.2f, trustworthiness %.2f\n",
+		rec.Exp.NetProfit(), rec.TW(siot.UnitNormalizer()))
+	// Output:
+	// net profit 0.76, trustworthiness 0.92
+}
+
+// Characteristic-based inference (eqs. 2–4): trust learned on GPS and image
+// tasks transfers to a traffic-monitoring task that needs both.
+func ExampleStore_InferTW() {
+	store := siot.NewStore(1, siot.DefaultUpdateConfig())
+	gps := siot.UniformTask(1, siot.CharGPS)
+	img := siot.UniformTask(2, siot.CharImage)
+	perfect := siot.Outcome{Success: true, Gain: 1}
+	for i := 0; i < 100; i++ {
+		store.Observe(7, gps, perfect, siot.PerfectEnv())
+		store.Observe(7, img, perfect, siot.PerfectEnv())
+	}
+	traffic := siot.UniformTask(3, siot.CharGPS, siot.CharImage)
+	tw, ok := store.InferTW(7, traffic)
+	fmt.Printf("%.2f %v\n", tw, ok)
+
+	// A task needing an uncovered characteristic cannot be inferred.
+	audio := siot.UniformTask(4, siot.CharAudio)
+	_, ok = store.InferTW(7, audio)
+	fmt.Println(ok)
+	// Output:
+	// 1.00 true
+	// false
+}
+
+// Mutual evaluation (eq. 1): the best candidate refuses, the second best
+// accepts.
+func ExampleSelectMutual() {
+	cands := []siot.Candidate{
+		{ID: 1, TW: 0.9},
+		{ID: 2, TW: 0.8},
+	}
+	chosen, ok := siot.SelectMutual(cands, func(y siot.AgentID) bool {
+		return y != 1 // trustee 1's reverse evaluation rejects this trustor
+	})
+	fmt.Println(chosen.ID, ok)
+	// Output:
+	// 2 true
+}
+
+// Eq. 7's transition includes the mistrust-product term the plain product
+// neglects.
+func ExampleCombinePair() {
+	fmt.Printf("eq.7: %.2f  product: %.2f\n", siot.CombinePair(0.9, 0.8), 0.9*0.8)
+	// Output:
+	// eq.7: 0.74  product: 0.72
+}
+
+// Environment correction (eq. 29): a success rate observed in a hostile
+// environment recovers the agent's true competence.
+func ExampleRemoveEnv() {
+	observed := 0.32 // measured in environment E = 0.4
+	fmt.Printf("%.1f\n", siot.RemoveEnv(observed, 1, 1, 0.4))
+	// Output:
+	// 0.8
+}
+
+// Self-delegation (eq. 24): the trustor keeps the task when no candidate
+// beats doing it itself.
+func ExampleDecideWithSelf() {
+	self := siot.Expectation{S: 0.9, G: 0.9, D: 0.1, C: 0.1}
+	weak := siot.ExpCandidate{ID: 5, Exp: siot.Expectation{S: 0.4, G: 0.5, D: 0.6, C: 0.3}}
+	decision, delegated := siot.DecideWithSelf(self, 1, []siot.ExpCandidate{weak})
+	fmt.Println(decision.ID, delegated)
+	// Output:
+	// 1 false
+}
+
+// Trust state survives device reboots via Save/LoadStore.
+func ExampleLoadStore() {
+	store := siot.NewStore(1, siot.DefaultUpdateConfig())
+	tk := siot.UniformTask(1, siot.CharGPS)
+	for i := 0; i < 10; i++ {
+		store.Observe(2, tk, siot.Outcome{Success: true, Gain: 0.8, Cost: 0.1}, siot.PerfectEnv())
+	}
+	var buf bytes.Buffer
+	if err := store.Save(&buf); err != nil {
+		panic(err)
+	}
+	restored, err := siot.LoadStore(&buf, siot.DefaultUpdateConfig())
+	if err != nil {
+		panic(err)
+	}
+	rec, _ := restored.Record(2, tk.Type())
+	fmt.Println(rec.Count)
+	// Output:
+	// 10
+}

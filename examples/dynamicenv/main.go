@@ -1,0 +1,100 @@
+// Dynamic environment: distinguishing honest nodes in hostile conditions
+// from malicious nodes in good ones.
+//
+// A camera node's quality collapses at night. A naive trustor downgrades it
+// and, when a fair-weather opportunist appears at dawn, prefers the
+// newcomer. An environment-aware trustor divides observations by the
+// ambient light level (eq. 29, Cannikin law), keeps the honest node's
+// trustworthiness intact through the night, and re-selects it immediately —
+// the paper's §4.5/Fig. 15–16 story as a single-pair walk-through.
+//
+// Run with:
+//
+//	go run ./examples/dynamicenv
+package main
+
+import (
+	"fmt"
+
+	"siot"
+	"siot/internal/rng"
+)
+
+func main() {
+	const (
+		camera siot.AgentID = 2
+		actual              = 0.85 // the camera's true competence
+	)
+	capture := siot.UniformTask(1, siot.CharImage)
+
+	// Day (E=1) for 50 tasks, night (E=0.3) for 50, day again for 50.
+	sched, err := siot.NewPhaseSchedule(
+		siot.EnvPhase{Len: 50, Env: 1},
+		siot.EnvPhase{Len: 50, Env: 0.3},
+		siot.EnvPhase{Len: 50, Env: 1},
+	)
+	if err != nil {
+		panic(err)
+	}
+
+	naiveCfg := siot.DefaultUpdateConfig()
+	awareCfg := siot.DefaultUpdateConfig()
+	awareCfg.EnvCorrection = true
+
+	naive := siot.NewStore(1, naiveCfg)
+	aware := siot.NewStore(1, awareCfg)
+	r := rng.New(5, "dynamicenv")
+
+	report := func(label string, i int) {
+		n, _ := naive.Record(camera, capture.Type())
+		a, _ := aware.Record(camera, capture.Type())
+		fmt.Printf("%-28s E=%.1f   naive Ŝ=%.2f   env-aware Ŝ=%.2f\n",
+			label, float64(sched.At(i)), n.Exp.S, a.Exp.S)
+	}
+
+	// Snapshot of both estimates at dawn (end of the night phase), when the
+	// opportunistic newcomer shows up.
+	var naiveAtDawn, awareAtDawn float64
+
+	for i := 0; i < 150; i++ {
+		e := sched.At(i)
+		// The environment degrades the camera's success probability.
+		success := r.Float64() < actual*float64(e)
+		out := siot.Outcome{Success: success, Cost: 0.1}
+		if success {
+			out.Gain = 0.8
+		} else {
+			out.Damage = 0.4
+		}
+		ectx := siot.EnvContext{Trustor: 1, Trustee: e}
+		naive.Observe(camera, capture, out, ectx)
+		aware.Observe(camera, capture, out, ectx)
+		switch i {
+		case 49:
+			report("end of day 1:", i)
+		case 99:
+			report("end of night:", i)
+			n, _ := naive.Record(camera, capture.Type())
+			a, _ := aware.Record(camera, capture.Type())
+			naiveAtDawn, awareAtDawn = n.Exp.S, a.Exp.S
+		case 149:
+			report("end of day 2:", i)
+		}
+	}
+
+	// At dawn an opportunist with a neutral reputation (Ŝ = 0.5) showed up.
+	// The naive trustor, whose camera estimate was dragged down by the
+	// night, defects; the env-aware trustor kept the estimate intact.
+	fmt.Println()
+	newcomer := 0.5
+	fmt.Printf("dawn decision vs a newcomer at Ŝ=%.2f:\n", newcomer)
+	fmt.Printf("  naive trustor:     camera Ŝ=%.2f → %s\n", naiveAtDawn, choice(naiveAtDawn, newcomer))
+	fmt.Printf("  env-aware trustor: camera Ŝ=%.2f → %s\n", awareAtDawn, choice(awareAtDawn, newcomer))
+}
+
+func choice(camera, newcomer float64) string {
+	if camera >= newcomer {
+		return "keeps the proven camera"
+	}
+	return "defects to the unproven newcomer"
+}

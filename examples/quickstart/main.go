@@ -1,0 +1,90 @@
+// Quickstart: the trust process end to end on a tiny scenario.
+//
+// Alice (a social IoT agent) learns which of two camera nodes to trust for
+// image capture by delegating, observing outcomes, and updating her
+// expectations — then uses mutual evaluation so the chosen trustee can also
+// refuse her if she were abusive.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	"siot"
+	"siot/internal/rng"
+)
+
+func main() {
+	const (
+		alice siot.AgentID = 1
+		bob   siot.AgentID = 2 // reliable camera node
+		carol siot.AgentID = 3 // flaky camera node
+	)
+	cfg := siot.DefaultUpdateConfig()
+	store := siot.NewStore(alice, cfg)
+	capture := siot.UniformTask(1, siot.CharImage)
+
+	// Ground truth the trust model will discover.
+	reliability := map[siot.AgentID]float64{bob: 0.9, carol: 0.35}
+	r := rng.New(7, "quickstart")
+
+	// Alice delegates image-capture tasks to both nodes for a while and
+	// post-evaluates every outcome (eqs. 19–22).
+	for i := 0; i < 40; i++ {
+		for _, trustee := range []siot.AgentID{bob, carol} {
+			success := r.Float64() < reliability[trustee]
+			out := siot.Outcome{Success: success, Cost: 0.1}
+			if success {
+				out.Gain = 0.8
+			} else {
+				out.Damage = 0.5
+			}
+			store.Observe(trustee, capture, out, siot.PerfectEnv())
+		}
+	}
+
+	// Pre-evaluation: rank the candidates by trustworthiness (eq. 18).
+	norm := siot.UnitNormalizer()
+	var cands []siot.Candidate
+	for _, trustee := range []siot.AgentID{bob, carol} {
+		rec, _ := store.Record(trustee, capture.Type())
+		tw := rec.TW(norm)
+		fmt.Printf("agent %d: expectation S=%.2f G=%.2f D=%.2f C=%.2f → trustworthiness %.3f\n",
+			trustee, rec.Exp.S, rec.Exp.G, rec.Exp.D, rec.Exp.C, tw)
+		cands = append(cands, siot.Candidate{ID: trustee, TW: tw})
+	}
+
+	// Mutual evaluation (eq. 1): the candidate reverse-evaluates Alice.
+	// Bob's store would normally live on Bob's device; here we just show
+	// the acceptance hook.
+	bobStore := siot.NewStore(bob, cfg)
+	for i := 0; i < 5; i++ {
+		bobStore.ObserveUsage(alice, false) // Alice has been responsible
+	}
+	chosen, ok := siot.SelectMutual(cands, func(y siot.AgentID) bool {
+		if y != bob {
+			return true
+		}
+		return bobStore.ReverseTW(alice) >= 0.6
+	})
+	if !ok {
+		fmt.Println("no trustee accepted the delegation")
+		return
+	}
+	fmt.Printf("selected trustee: agent %d (TW %.3f)\n", chosen.ID, chosen.TW)
+
+	// Inferential transfer (eqs. 2–4): trust learned on image capture
+	// informs a new traffic-monitoring task that needs image + GPS — once
+	// GPS experience exists too.
+	gps := siot.UniformTask(2, siot.CharGPS)
+	for i := 0; i < 20; i++ {
+		store.Observe(bob, gps, siot.Outcome{Success: true, Gain: 0.7, Cost: 0.1}, siot.PerfectEnv())
+	}
+	traffic := siot.UniformTask(3, siot.CharGPS, siot.CharImage)
+	if tw, ok := store.InferTW(bob, traffic); ok {
+		fmt.Printf("inferred trustworthiness of agent %d on the new traffic task: %.3f\n", bob, tw)
+	}
+}

@@ -1,0 +1,220 @@
+package core
+
+import (
+	"sort"
+
+	"siot/internal/task"
+)
+
+// Record is one trustor's accumulated experience of delegating a particular
+// task type to a particular trustee: the task (with its characteristics and
+// weights), the current expectation, and the number of delegations behind
+// it.
+type Record struct {
+	Task  task.Task
+	Exp   Expectation
+	Count int
+}
+
+// TW returns the record's trustworthiness under eq. 18.
+func (r Record) TW(n Normalizer) float64 { return r.Exp.Trustworthiness(n) }
+
+// Store holds the trust state one agent (as trustor) keeps about its
+// trustees: per-(trustee, task type) experience records, plus the usage
+// statistics it keeps about agents that delegated to it (for the reverse
+// evaluation of eq. 1). Store is not safe for concurrent use; the
+// simulation layers keep one per agent and drive them sequentially.
+type Store struct {
+	owner   AgentID
+	records map[AgentID]map[task.Type]*Record
+	usage   map[AgentID]*UsageLog
+	cfg     UpdateConfig
+}
+
+// NewStore creates an empty store for the given agent using cfg for all
+// updates.
+func NewStore(owner AgentID, cfg UpdateConfig) *Store {
+	if cfg.Norm == nil {
+		cfg.Norm = UnitNormalizer()
+	}
+	return &Store{
+		owner:   owner,
+		records: make(map[AgentID]map[task.Type]*Record),
+		usage:   make(map[AgentID]*UsageLog),
+		cfg:     cfg,
+	}
+}
+
+// Owner returns the agent this store belongs to.
+func (s *Store) Owner() AgentID { return s.owner }
+
+// Config returns the store's update configuration.
+func (s *Store) Config() UpdateConfig { return s.cfg }
+
+// Record returns the experience record for (trustee, task type), if any.
+func (s *Store) Record(trustee AgentID, typ task.Type) (Record, bool) {
+	if m, ok := s.records[trustee]; ok {
+		if r, ok := m[typ]; ok {
+			return *r, true
+		}
+	}
+	return Record{}, false
+}
+
+// Records returns all experience records the store holds about trustee,
+// ordered by task type.
+func (s *Store) Records(trustee AgentID) []Record {
+	m := s.records[trustee]
+	if len(m) == 0 {
+		return nil
+	}
+	out := make([]Record, 0, len(m))
+	for _, r := range m {
+		out = append(out, *r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Task.Type() < out[j].Task.Type() })
+	return out
+}
+
+// Trustees returns the sorted IDs of all agents the store has experience
+// with.
+func (s *Store) Trustees() []AgentID {
+	out := make([]AgentID, 0, len(s.records))
+	for id := range s.records {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Observe folds the outcome of delegating t to trustee into the store
+// (post-evaluation, eqs. 19–22 / 25–28) and returns the updated record.
+func (s *Store) Observe(trustee AgentID, t task.Task, o Outcome, ectx EnvContext) Record {
+	m, ok := s.records[trustee]
+	if !ok {
+		m = make(map[task.Type]*Record)
+		s.records[trustee] = m
+	}
+	r, ok := m[t.Type()]
+	if !ok {
+		r = &Record{Task: t, Exp: s.cfg.Init}
+		m[t.Type()] = r
+	}
+	r.Exp = Update(r.Exp, o, ectx, s.cfg)
+	r.Count++
+	return *r
+}
+
+// Seed installs an expectation for (trustee, task) without counting a
+// delegation — used to initialize trust from social-relationship metrics or
+// experiment setup, as §4.4 suggests.
+func (s *Store) Seed(trustee AgentID, t task.Task, exp Expectation) {
+	m, ok := s.records[trustee]
+	if !ok {
+		m = make(map[task.Type]*Record)
+		s.records[trustee] = m
+	}
+	m[t.Type()] = &Record{Task: t, Exp: exp}
+}
+
+// DirectTW returns the trustworthiness of trustee on the exact task type,
+// if the store has a record for it (the conventional, pre-inference lookup).
+func (s *Store) DirectTW(trustee AgentID, typ task.Type) (float64, bool) {
+	r, ok := s.Record(trustee, typ)
+	if !ok {
+		return 0, false
+	}
+	return r.TW(s.cfg.Norm), true
+}
+
+// InferTW implements the inferential transfer of trust (eqs. 2–4): the
+// trustworthiness of trustee on a task the trustor never delegated to it,
+// inferred from experienced tasks that share characteristics.
+//
+// For each characteristic a_i of t it computes the weighted average of the
+// trustworthiness of every experienced task containing a_i (weights are the
+// characteristic's importance within those tasks), then combines the
+// per-characteristic estimates with t's own weights w_i(τ′). Inference
+// requires every characteristic of t to be covered by experience (the ∀i ∃j
+// condition); otherwise ok is false.
+//
+// A direct record for t's exact type, when present, participates like any
+// other experienced task.
+func (s *Store) InferTW(trustee AgentID, t task.Task) (tw float64, ok bool) {
+	recs := s.records[trustee]
+	if len(recs) == 0 {
+		return 0, false
+	}
+	total := 0.0
+	for _, c := range t.Characteristics() {
+		num, den := 0.0, 0.0
+		for _, r := range recs {
+			if w := r.Task.Weight(c); w > 0 {
+				num += w * r.TW(s.cfg.Norm)
+				den += w
+			}
+		}
+		if den == 0 {
+			return 0, false // characteristic not covered by any experience
+		}
+		total += t.Weight(c) * (num / den)
+	}
+	return total, true
+}
+
+// BestTW returns the best available trustworthiness estimate for trustee on
+// t: the direct record if one exists, otherwise characteristic inference.
+func (s *Store) BestTW(trustee AgentID, t task.Task) (float64, bool) {
+	if tw, ok := s.DirectTW(trustee, t.Type()); ok {
+		return tw, true
+	}
+	return s.InferTW(trustee, t)
+}
+
+// UsageLog is the trustee-side record of how a particular trustor used its
+// resources — the basis of the reverse evaluation (§4.1): "the trustee can
+// use its log files or usage pattern records to recognize how the trustor
+// has used its resources."
+type UsageLog struct {
+	Responsible int
+	Abusive     int
+}
+
+// TW returns the reverse trustworthiness TW̃_{y←X} implied by the log: the
+// fraction of responsible uses smoothed with one optimistic pseudo-count.
+// An empty log scores 1 — strangers are innocent until proven guilty, which
+// is what keeps the service loop alive under high θ thresholds: a trustor
+// must actually abuse resources before trustees start refusing it, exactly
+// the dynamic behind Fig. 7's abuse-rate decline.
+func (l UsageLog) TW() float64 {
+	return (float64(l.Responsible) + 1) / (float64(l.Responsible+l.Abusive) + 1)
+}
+
+// Usage returns the usage log the store keeps about a trustor.
+func (s *Store) Usage(trustor AgentID) UsageLog {
+	if l, ok := s.usage[trustor]; ok {
+		return *l
+	}
+	return UsageLog{}
+}
+
+// ObserveUsage records one use of this agent's resources by trustor.
+func (s *Store) ObserveUsage(trustor AgentID, abusive bool) {
+	l, ok := s.usage[trustor]
+	if !ok {
+		l = &UsageLog{}
+		s.usage[trustor] = l
+	}
+	if abusive {
+		l.Abusive++
+	} else {
+		l.Responsible++
+	}
+}
+
+// ReverseTW returns the reverse-evaluation trustworthiness this agent (as
+// potential trustee) assigns to the requesting trustor (eq. 1's
+// TW̃_{y←X}(τ)).
+func (s *Store) ReverseTW(trustor AgentID) float64 {
+	return s.Usage(trustor).TW()
+}

@@ -1,0 +1,334 @@
+package core
+
+import (
+	"sort"
+
+	"siot/internal/task"
+)
+
+// CombinePair implements the two-hop trust transition of eq. 7:
+//
+//	TW_{A←C} = TW_{A←B}·TW_{B←C} + (1 − TW_{A←B})·(1 − TW_{B←C})
+//
+// The second term — mistrust toward the intermediate multiplied by the
+// intermediate's incorrect judgment — is the correction the paper adds over
+// the plain product of eq. 5.
+func CombinePair(a, b float64) float64 {
+	return a*b + (1-a)*(1-b)
+}
+
+// CombineSerial folds CombinePair left to right along a chain of hop
+// trustworthiness values; an empty chain yields 1 (the identity of
+// CombinePair: CombinePair(1, x) = x). The paper defines the two-hop case;
+// folding is the natural extension for longer recommendation chains.
+func CombineSerial(vals ...float64) float64 {
+	acc := 1.0
+	for _, v := range vals {
+		acc = CombinePair(acc, v)
+	}
+	return acc
+}
+
+// ProductSerial is the traditional transitivity of eq. 5: the plain product
+// of the hop trustworthiness values along the path.
+func ProductSerial(vals ...float64) float64 {
+	acc := 1.0
+	for _, v := range vals {
+		acc *= v
+	}
+	return acc
+}
+
+// TransitSameType evaluates the same-task-type transition of Fig. 4 and
+// eq. 7: trust transits only when the recommender hop clears ω1 and the
+// trustee hop clears ω2. ok is false when the transition is blocked.
+func TransitSameType(recTW, trusteeTW, omega1, omega2 float64) (tw float64, ok bool) {
+	if recTW < omega1 || trusteeTW < omega2 {
+		return 0, false
+	}
+	return CombinePair(recTW, trusteeTW), true
+}
+
+// Policy selects the trust-transfer method of §4.3.
+type Policy int
+
+const (
+	// PolicyTraditional is the baseline of eq. 5: trustworthiness transfers
+	// only through records of the exact same task type, combined by product.
+	PolicyTraditional Policy = iota
+	// PolicyConservative (eqs. 8–11) transfers through a single path on
+	// which every hop's experience covers all characteristics of the task,
+	// combined by eq. 7.
+	PolicyConservative
+	// PolicyAggressive (eqs. 12–17) assesses each characteristic along its
+	// own path and combines the per-characteristic estimates with the
+	// task's weights (eq. 17).
+	PolicyAggressive
+)
+
+// String returns the method name used in the paper's figures.
+func (p Policy) String() string {
+	switch p {
+	case PolicyTraditional:
+		return "traditional"
+	case PolicyConservative:
+		return "conservative"
+	case PolicyAggressive:
+		return "aggressive"
+	default:
+		return "unknown"
+	}
+}
+
+// CharTW computes the weighted-average trustworthiness of one
+// characteristic over a set of experience records — the inner fraction of
+// eq. 4: Σ_k w_j(τ_k)·TW(τ_k) / Σ_k w_j(τ_k) over records whose task
+// contains the characteristic. ok is false when no record covers it.
+func CharTW(recs []Record, c task.Characteristic, n Normalizer) (float64, bool) {
+	num, den := 0.0, 0.0
+	for _, r := range recs {
+		if w := r.Task.Weight(c); w > 0 {
+			num += w * r.TW(n)
+			den += w
+		}
+	}
+	if den == 0 {
+		return 0, false
+	}
+	return num / den, true
+}
+
+// InferFromRecords is eq. 4 over an explicit record set: the inferred
+// trustworthiness of a task from experienced tasks sharing its
+// characteristics. Every characteristic must be covered, else ok is false.
+func InferFromRecords(recs []Record, t task.Task, n Normalizer) (float64, bool) {
+	total := 0.0
+	for _, c := range t.Characteristics() {
+		est, ok := CharTW(recs, c, n)
+		if !ok {
+			return 0, false
+		}
+		total += t.Weight(c) * est
+	}
+	return total, true
+}
+
+// Searcher performs trust-transitivity discovery over a social network. It
+// is configured with accessor functions so it can run over any substrate
+// (the in-memory simulation, the ZigBee testbed model, a fake in tests).
+type Searcher struct {
+	// Neighbors returns the social neighbors of an agent.
+	Neighbors func(AgentID) []AgentID
+	// Records returns the experience records holder keeps about a neighbor.
+	Records func(holder, about AgentID) []Record
+	// Norm is the normalizer for record trustworthiness.
+	Norm Normalizer
+	// MaxDepth bounds the recommendation-chain length (number of hops).
+	MaxDepth int
+	// Omega1 is the recommender threshold ω1: an intermediate node's hop
+	// trustworthiness must reach it for the chain to continue.
+	Omega1 float64
+	// Omega2 is the trustee threshold ω2: the final hop's trustworthiness
+	// must reach it for the node to count as a potential trustee.
+	Omega2 float64
+	// CandidateFilter, when non-nil, restricts which nodes may become
+	// potential trustees (any node may still relay recommendations). The
+	// simulations use it to limit candidacy to trustee-role agents, as in
+	// the paper's 40%/40% role split.
+	CandidateFilter func(AgentID) bool
+}
+
+// isCandidate applies the filter.
+func (s *Searcher) isCandidate(id AgentID) bool {
+	return s.CandidateFilter == nil || s.CandidateFilter(id)
+}
+
+// SearchResult is the outcome of a transitivity search.
+type SearchResult struct {
+	// Candidates lists the potential trustees found, with the inferred
+	// trustworthiness of each, sorted by decreasing trustworthiness.
+	Candidates []Candidate
+	// Inquired is the number of distinct nodes interrogated during the
+	// search — the search-overhead measure of Fig. 12.
+	Inquired int
+}
+
+// Best returns the top candidate.
+func (r SearchResult) Best() (Candidate, bool) {
+	if len(r.Candidates) == 0 {
+		return Candidate{}, false
+	}
+	return r.Candidates[0], true
+}
+
+// Find discovers potential trustees for the trustor's task under the given
+// policy. Each social hop (u → v) is admissible only if u's experience
+// records about v satisfy the policy for the task; admissible hops below
+// ω1 stop relaying and hops below ω2 do not mint candidates. Path values
+// propagate best-first per depth (exact for hop values ≥ 0.5, where eq. 7
+// is monotone; a safe approximation below).
+func (s *Searcher) Find(trustor AgentID, t task.Task, p Policy) SearchResult {
+	switch p {
+	case PolicyAggressive:
+		return s.findAggressive(trustor, t)
+	default:
+		return s.findSerial(trustor, t, p)
+	}
+}
+
+// hopTW evaluates one hop under traditional or conservative rules.
+func (s *Searcher) hopTW(holder, about AgentID, t task.Task, p Policy) (float64, bool) {
+	recs := s.Records(holder, about)
+	if len(recs) == 0 {
+		return 0, false
+	}
+	if p == PolicyTraditional {
+		for _, r := range recs {
+			if r.Task.Type() == t.Type() {
+				return r.TW(s.Norm), true
+			}
+		}
+		return 0, false
+	}
+	// Conservative: all characteristics must be covered by this hop's
+	// records (eq. 8 with the inference of eqs. 9–10).
+	return InferFromRecords(recs, t, s.Norm)
+}
+
+// findSerial runs the single-path policies (traditional, conservative).
+func (s *Searcher) findSerial(trustor AgentID, t task.Task, p Policy) SearchResult {
+	combine := CombinePair
+	if p == PolicyTraditional {
+		combine = func(a, b float64) float64 { return a * b }
+	}
+	inquired := make(map[AgentID]bool)
+	best := make(map[AgentID]float64) // best candidate value per node
+	frontier := map[AgentID]float64{trustor: 1}
+	for depth := 1; depth <= s.MaxDepth && len(frontier) > 0; depth++ {
+		next := make(map[AgentID]float64)
+		for _, u := range sortedIDs(frontier) {
+			uval := frontier[u]
+			for _, v := range s.Neighbors(u) {
+				if v == trustor {
+					continue
+				}
+				hop, ok := s.hopTW(u, v, t, p)
+				if !ok {
+					continue
+				}
+				inquired[v] = true
+				val := combine(uval, hop)
+				if s.passTrustee(p, hop) && s.isCandidate(v) {
+					if cur, seen := best[v]; !seen || val > cur {
+						best[v] = val
+					}
+				}
+				if depth < s.MaxDepth && s.passRecommender(p, hop) {
+					if cur, seen := next[v]; !seen || val > cur {
+						next[v] = val
+					}
+				}
+			}
+		}
+		frontier = next
+	}
+	return result(best, inquired)
+}
+
+// findAggressive runs one per-characteristic propagation (eqs. 12–17):
+// characteristic a_i may travel path B←C←E while a_j travels B←D←E, and a
+// node becomes a candidate only when every characteristic of the task
+// reaches it.
+func (s *Searcher) findAggressive(trustor AgentID, t task.Task) SearchResult {
+	chars := t.Characteristics()
+	inquired := make(map[AgentID]bool)
+	perChar := make([]map[AgentID]float64, len(chars))
+	for ci, c := range chars {
+		best := make(map[AgentID]float64)
+		frontier := map[AgentID]float64{trustor: 1}
+		for depth := 1; depth <= s.MaxDepth && len(frontier) > 0; depth++ {
+			next := make(map[AgentID]float64)
+			for _, u := range sortedIDs(frontier) {
+				uval := frontier[u]
+				for _, v := range s.Neighbors(u) {
+					if v == trustor {
+						continue
+					}
+					hop, ok := CharTW(s.Records(u, v), c, s.Norm)
+					if !ok {
+						continue
+					}
+					inquired[v] = true
+					val := CombinePair(uval, hop)
+					if s.isCandidate(v) {
+						if cur, seen := best[v]; !seen || val > cur {
+							best[v] = val
+						}
+					}
+					if depth < s.MaxDepth && hop >= s.Omega1 {
+						if cur, seen := next[v]; !seen || val > cur {
+							next[v] = val
+						}
+					}
+				}
+			}
+			frontier = next
+		}
+		perChar[ci] = best
+	}
+	// Combine per-characteristic estimates with the task weights (eq. 17),
+	// requiring full coverage (eq. 12). As in eq. 11, the ω2 threshold
+	// applies to the task-level trustworthiness, not to each characteristic
+	// in isolation.
+	totals := make(map[AgentID]float64)
+	for v := range perChar[0] {
+		tw, ok := 0.0, true
+		for ci, c := range chars {
+			val, seen := perChar[ci][v]
+			if !seen {
+				ok = false
+				break
+			}
+			tw += t.Weight(c) * val
+		}
+		if ok && tw >= s.Omega2 {
+			totals[v] = tw
+		}
+	}
+	return result(totals, inquired)
+}
+
+// passRecommender applies ω1 per policy; the traditional baseline transfers
+// through any positive trustworthiness, "without any restriction".
+func (s *Searcher) passRecommender(p Policy, hop float64) bool {
+	if p == PolicyTraditional {
+		return hop > 0
+	}
+	return hop >= s.Omega1
+}
+
+// passTrustee applies ω2 per policy.
+func (s *Searcher) passTrustee(p Policy, hop float64) bool {
+	if p == PolicyTraditional {
+		return hop > 0
+	}
+	return hop >= s.Omega2
+}
+
+func sortedIDs(m map[AgentID]float64) []AgentID {
+	ids := make([]AgentID, 0, len(m))
+	for id := range m {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+func result(best map[AgentID]float64, inquired map[AgentID]bool) SearchResult {
+	cands := make([]Candidate, 0, len(best))
+	for id, tw := range best {
+		cands = append(cands, Candidate{ID: id, TW: tw})
+	}
+	SortCandidates(cands)
+	return SearchResult{Candidates: cands, Inquired: len(inquired)}
+}

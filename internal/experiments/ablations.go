@@ -1,0 +1,259 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"siot/internal/core"
+	"siot/internal/env"
+	"siot/internal/report"
+	"siot/internal/rng"
+	"siot/internal/sim"
+	"siot/internal/socialgen"
+	"siot/internal/stats"
+)
+
+// This file holds the ablations DESIGN.md calls out: controlled experiments
+// isolating individual design choices of the trust model. They are not
+// figures of the paper, but they quantify the pieces the paper argues for.
+
+// AblationEq7Config parameterizes the eq. 7 mistrust-term ablation.
+type AblationEq7Config struct {
+	Seed uint64
+	// Pairs is the number of random recommendation chains evaluated.
+	Pairs int
+	// Depth is the chain length.
+	Depth int
+}
+
+// DefaultAblationEq7Config returns the default ablation scale.
+func DefaultAblationEq7Config(seed uint64) AblationEq7Config {
+	return AblationEq7Config{Seed: seed, Pairs: 20000, Depth: 2}
+}
+
+// AblationEq7Result compares eq. 7's combination (with the mistrust-product
+// term) against the plain product of eq. 5 as estimators of end-to-end
+// delegation success over random chains.
+type AblationEq7Result struct {
+	// RMSEEq7 and RMSEProduct are the root-mean-square errors of the two
+	// combiners against the true end-to-end success probability.
+	RMSEEq7     float64
+	RMSEProduct float64
+	// HighTrustBias are the mean signed errors over chains whose hops all
+	// exceed 0.5 (the regime the ω thresholds admit).
+	HighTrustBiasEq7     float64
+	HighTrustBiasProduct float64
+}
+
+// RunAblationEq7 samples chains of hop reliabilities, computes the true
+// probability that a delegation through the chain ends well (every hop's
+// judgment is correct, or every hop errs in a way that cancels — the
+// even-error parity model that motivates eq. 7), and measures how well each
+// combiner predicts it.
+func RunAblationEq7(cfg AblationEq7Config) AblationEq7Result {
+	r := rng.New(cfg.Seed, "ablation-eq7")
+	var seSum7, seSumP float64
+	var hiBias7, hiBiasP float64
+	hiCount := 0
+	for i := 0; i < cfg.Pairs; i++ {
+		hops := make([]float64, cfg.Depth)
+		allHigh := true
+		for j := range hops {
+			hops[j] = r.Float64()
+			if hops[j] < 0.5 {
+				allHigh = false
+			}
+		}
+		// Ground truth: probability that an even number of hops err.
+		// For independent hops this is the parity recursion
+		// p_k = p_{k-1}·h_k + (1−p_{k-1})·(1−h_k) — exactly eq. 7's fold.
+		truth := 1.0
+		for _, h := range hops {
+			truth = truth*h + (1-truth)*(1-h)
+		}
+		e7 := core.CombineSerial(hops...)
+		ep := core.ProductSerial(hops...)
+		seSum7 += (e7 - truth) * (e7 - truth)
+		seSumP += (ep - truth) * (ep - truth)
+		if allHigh {
+			hiBias7 += e7 - truth
+			hiBiasP += ep - truth
+			hiCount++
+		}
+	}
+	res := AblationEq7Result{
+		RMSEEq7:     math.Sqrt(seSum7 / float64(cfg.Pairs)),
+		RMSEProduct: math.Sqrt(seSumP / float64(cfg.Pairs)),
+	}
+	if hiCount > 0 {
+		res.HighTrustBiasEq7 = hiBias7 / float64(hiCount)
+		res.HighTrustBiasProduct = hiBiasP / float64(hiCount)
+	}
+	return res
+}
+
+// Table renders the comparison.
+func (r AblationEq7Result) Table() *report.Table {
+	t := &report.Table{
+		Title:   "Ablation: eq. 7 combination vs eq. 5 product over recommendation chains",
+		Headers: []string{"Combiner", "RMSE vs parity truth", "Bias (hops > 0.5)"},
+	}
+	t.AddRow("eq. 7 (with mistrust term)", fmt.Sprintf("%.4f", r.RMSEEq7), fmt.Sprintf("%+.4f", r.HighTrustBiasEq7))
+	t.AddRow("eq. 5 (plain product)", fmt.Sprintf("%.4f", r.RMSEProduct), fmt.Sprintf("%+.4f", r.HighTrustBiasProduct))
+	return t
+}
+
+// ShapeCheck asserts eq. 7 is the exact parity estimator (zero error) while
+// the plain product systematically underestimates.
+func (r AblationEq7Result) ShapeCheck() []error {
+	c := &shapeCheck{experiment: "ablation-eq7"}
+	c.expect(r.RMSEEq7 < 1e-9, "eq. 7 is not exact against the parity model (RMSE %.4g)", r.RMSEEq7)
+	c.expect(r.RMSEProduct > 0.01, "plain product unexpectedly accurate (RMSE %.4g)", r.RMSEProduct)
+	c.expect(r.HighTrustBiasProduct < -0.01,
+		"plain product does not underestimate in the high-trust regime (bias %+.4f)", r.HighTrustBiasProduct)
+	return c.errs
+}
+
+// AblationCannikinConfig parameterizes the min-vs-mean environment
+// combination ablation (Fig. 15 rerun with the mean).
+type AblationCannikinConfig struct {
+	Seed uint64
+	Runs int
+}
+
+// DefaultAblationCannikinConfig returns the default scale.
+func DefaultAblationCannikinConfig(seed uint64) AblationCannikinConfig {
+	return AblationCannikinConfig{Seed: seed, Runs: 60}
+}
+
+// AblationCannikinResult compares correcting by the Cannikin minimum
+// against correcting by the mean environment when one side of the exchange
+// is hostile and the other perfect.
+type AblationCannikinResult struct {
+	// TrackErrMin and TrackErrMean are the absolute biases of the
+	// time-averaged tracked success rate against the true competence.
+	TrackErrMin  float64
+	TrackErrMean float64
+}
+
+// RunAblationCannikin reruns the Fig. 15 tracking task with a bottleneck
+// environment: the trustee sits at E = 0.4 while the trustor and an
+// intermediate are perfect. The Cannikin minimum (0.4) matches the actual
+// degradation; the mean (0.8) under-corrects.
+func RunAblationCannikin(cfg AblationCannikinConfig) AblationCannikinResult {
+	const actual = 0.8
+	const hostile = env.Environment(0.4)
+	iters := 200
+	baseCfg := core.DefaultUpdateConfig()
+
+	var sumMin, sumMean float64
+	n := 0
+	for run := 0; run < cfg.Runs; run++ {
+		r := rng.Split(cfg.Seed, "ablation-cannikin", run)
+		eMin := core.Expectation{S: 1}
+		eMean := core.Expectation{S: 1}
+		for i := 0; i < iters; i++ {
+			// The bottleneck degrades the outcome by min(E) = 0.4.
+			obs := core.Outcome{Success: r.Float64() < actual*float64(hostile)}
+			// Proper correction via the EnvContext minimum.
+			cfgMin := baseCfg
+			cfgMin.EnvCorrection = true
+			eMin = core.Update(eMin, obs, core.EnvContext{Trustor: 1, Trustee: hostile, Intermediates: []env.Environment{1}}, cfgMin)
+			// Mean correction: divide by the mean environment by hand.
+			mean := env.CombineMean(1, hostile, 1)
+			sVal := 0.0
+			if obs.Success {
+				sVal = 1 / float64(mean)
+			}
+			eMean.S = 0.9*eMean.S + 0.1*sVal
+			if i > iters/2 {
+				sumMin += eMin.S
+				sumMean += eMean.S
+				n++
+			}
+		}
+	}
+	// Compare the *bias* of the time-averaged estimates: the trackers are
+	// noisy by construction (Bernoulli observations amplified by 1/E), but
+	// an unbiased corrector's time average recovers the true competence.
+	return AblationCannikinResult{
+		TrackErrMin:  math.Abs(sumMin/float64(n) - actual),
+		TrackErrMean: math.Abs(sumMean/float64(n) - actual),
+	}
+}
+
+// Table renders the comparison.
+func (r AblationCannikinResult) Table() *report.Table {
+	t := &report.Table{
+		Title:   "Ablation: Cannikin minimum vs mean environment in r(·)",
+		Headers: []string{"Combination", "Tracking error vs true competence"},
+	}
+	t.AddRow("minimum (Cannikin law, eq. 29)", fmt.Sprintf("%.4f", r.TrackErrMin))
+	t.AddRow("mean of participants", fmt.Sprintf("%.4f", r.TrackErrMean))
+	return t
+}
+
+// ShapeCheck asserts the minimum tracks the truth and the mean
+// under-corrects, as the paper's Wooden Bucket argument claims.
+func (r AblationCannikinResult) ShapeCheck() []error {
+	c := &shapeCheck{experiment: "ablation-cannikin"}
+	c.expect(r.TrackErrMin < 0.05, "Cannikin correction bias %.4f too large", r.TrackErrMin)
+	c.expect(r.TrackErrMean > 2*r.TrackErrMin,
+		"mean correction (err %.4f) not clearly worse than Cannikin (err %.4f)",
+		r.TrackErrMean, r.TrackErrMin)
+	return c.errs
+}
+
+// AblationSelfDelegationConfig parameterizes the eq. 24 ablation.
+type AblationSelfDelegationConfig struct {
+	Seed       uint64
+	Iterations int
+}
+
+// DefaultAblationSelfDelegationConfig returns the default scale.
+func DefaultAblationSelfDelegationConfig(seed uint64) AblationSelfDelegationConfig {
+	return AblationSelfDelegationConfig{Seed: seed, Iterations: 800}
+}
+
+// AblationSelfDelegationResult compares net profit with and without the
+// trustor itself as a candidate (eq. 24) on the Twitter network, where
+// trustee neighborhoods are smallest and self-execution matters most.
+type AblationSelfDelegationResult struct {
+	WithSelf    float64
+	WithoutSelf float64
+}
+
+// RunAblationSelfDelegation measures converged net profit when trustors may
+// keep tasks whose expected profit beats every candidate's.
+func RunAblationSelfDelegation(cfg AblationSelfDelegationConfig) AblationSelfDelegationResult {
+	net := socialgen.Generate(socialgen.Twitter(), cfg.Seed)
+	run := func(withSelf bool) float64 {
+		p := sim.NewPopulation(net, sim.DefaultPopulationConfig(cfg.Seed))
+		series := sim.NetProfitRunSelf(p, cfg.Iterations, withSelf, cfg.Seed)
+		return stats.Mean(series[len(series)*2/3:])
+	}
+	return AblationSelfDelegationResult{
+		WithSelf:    run(true),
+		WithoutSelf: run(false),
+	}
+}
+
+// Table renders the comparison.
+func (r AblationSelfDelegationResult) Table() *report.Table {
+	t := &report.Table{
+		Title:   "Ablation: self-delegation (eq. 24) on the Twitter network",
+		Headers: []string{"Decision rule", "Converged net profit"},
+	}
+	t.AddRow("delegate-or-self (eq. 24)", fmt.Sprintf("%.3f", r.WithSelf))
+	t.AddRow("always delegate", fmt.Sprintf("%.3f", r.WithoutSelf))
+	return t
+}
+
+// ShapeCheck asserts the option to self-execute never hurts and helps when
+// neighborhoods are poor.
+func (r AblationSelfDelegationResult) ShapeCheck() []error {
+	c := &shapeCheck{experiment: "ablation-self"}
+	c.expect(r.WithSelf >= r.WithoutSelf-0.005,
+		"self-delegation hurt profit (%.3f vs %.3f)", r.WithSelf, r.WithoutSelf)
+	return c.errs
+}

@@ -1,0 +1,41 @@
+// Package experiments defines one runner per table and figure of the
+// paper's evaluation (§5). Every runner is deterministic in its seed,
+// returns a typed result that can render itself as a table, ASCII chart, or
+// CSV, and exposes a ShapeCheck that verifies the paper's qualitative
+// claims hold on the reproduction (who wins, in which direction rates move).
+//
+// Default configurations use the paper's full-size parameters; the bench
+// harness scales them down via the Scale helpers to keep iterations cheap.
+package experiments
+
+import (
+	"fmt"
+
+	"siot/internal/socialgen"
+)
+
+// Networks returns the three evaluation networks in paper order.
+func Networks() []socialgen.Profile { return socialgen.Profiles() }
+
+// ShapeError describes one violated qualitative expectation.
+type ShapeError struct {
+	Experiment string
+	Detail     string
+}
+
+// Error implements error.
+func (e ShapeError) Error() string {
+	return fmt.Sprintf("%s: %s", e.Experiment, e.Detail)
+}
+
+// shapeCheck collects violations.
+type shapeCheck struct {
+	experiment string
+	errs       []error
+}
+
+func (c *shapeCheck) expect(ok bool, format string, args ...interface{}) {
+	if !ok {
+		c.errs = append(c.errs, ShapeError{Experiment: c.experiment, Detail: fmt.Sprintf(format, args...)})
+	}
+}

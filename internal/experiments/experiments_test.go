@@ -1,0 +1,200 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// These tests run every experiment at reduced scale and assert the paper's
+// qualitative claims (the ShapeChecks) hold. The full-scale runs live in
+// the bench harness and cmd/siot-bench.
+
+func noShapeErrors(t *testing.T, errs []error) {
+	t.Helper()
+	for _, e := range errs {
+		t.Error(e)
+	}
+}
+
+func TestTable1Shape(t *testing.T) {
+	res := RunTable1(1)
+	noShapeErrors(t, res.ShapeCheck())
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	var b strings.Builder
+	if err := res.Table().Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"facebook", "gplus", "twitter", "Modularity"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q", want)
+		}
+	}
+}
+
+func TestFig7Shape(t *testing.T) {
+	res := RunFig7(DefaultFig7Config(1))
+	noShapeErrors(t, res.ShapeCheck())
+	if len(res.Cells) != 9 {
+		t.Fatalf("cells = %d, want 9", len(res.Cells))
+	}
+}
+
+func TestTransitivityShape(t *testing.T) {
+	cfg := DefaultTransitivityConfig(1)
+	cfg.CharCounts = []int{4, 7}
+	cfg.Repeats = 2
+	res := RunTransitivitySweep(cfg)
+	noShapeErrors(t, res.ShapeCheck())
+	if len(res.Cells) != 3*2*3 {
+		t.Fatalf("cells = %d", len(res.Cells))
+	}
+	for _, s := range res.SuccessSeries() {
+		if err := s.Validate(); err != nil {
+			t.Error(err)
+		}
+	}
+	if len(res.UnavailableSeries()) != 9 || len(res.PotentialSeries()) != 9 {
+		t.Fatal("series count wrong")
+	}
+}
+
+func TestFig12Shape(t *testing.T) {
+	res := RunFig12(DefaultFig12Config(1))
+	noShapeErrors(t, res.ShapeCheck())
+	series := res.Series()
+	if len(series) != 3 {
+		t.Fatalf("series = %d", len(series))
+	}
+	// Sorted ascending per policy.
+	for _, s := range series {
+		for i := 1; i < len(s.Y); i++ {
+			if s.Y[i] < s.Y[i-1] {
+				t.Fatalf("%s not sorted at %d", s.Name, i)
+			}
+		}
+	}
+}
+
+func TestTable2Shape(t *testing.T) {
+	cfg := DefaultTable2Config(1)
+	cfg.Repeats = 2
+	res := RunTable2(cfg)
+	noShapeErrors(t, res.ShapeCheck())
+	if len(res.Cells) != 9 {
+		t.Fatalf("cells = %d", len(res.Cells))
+	}
+}
+
+func TestFig13Shape(t *testing.T) {
+	cfg := DefaultFig13Config(1)
+	cfg.Iterations = 900
+	res := RunFig13(cfg)
+	noShapeErrors(t, res.ShapeCheck())
+	if len(res.Series) != 6 {
+		t.Fatalf("series = %d", len(res.Series))
+	}
+}
+
+func TestFig15Shape(t *testing.T) {
+	cfg := DefaultFig15Config(1)
+	cfg.Runs = 40
+	res := RunFig15(cfg)
+	noShapeErrors(t, res.ShapeCheck())
+	if len(res.NoEnv.Y) != 300 {
+		t.Fatalf("series length = %d", len(res.NoEnv.Y))
+	}
+}
+
+func TestFig8Shape(t *testing.T) {
+	cfg := DefaultFig8Config(1)
+	cfg.Experiments = 8
+	res := RunFig8(cfg)
+	noShapeErrors(t, res.ShapeCheck())
+	if len(res.WithModel.Y) != 8 || len(res.WithoutModel.Y) != 8 {
+		t.Fatal("series lengths wrong")
+	}
+	for _, v := range res.WithModel.Y {
+		if v < 0 || v > 100 {
+			t.Fatalf("percentage out of range: %v", v)
+		}
+	}
+}
+
+func TestFig14Shape(t *testing.T) {
+	cfg := DefaultFig14Config(1)
+	cfg.TasksPerTrustor = 30
+	res := RunFig14(cfg)
+	noShapeErrors(t, res.ShapeCheck())
+	if len(res.WithModel.Y) != 30 {
+		t.Fatal("series length wrong")
+	}
+}
+
+func TestFig16Shape(t *testing.T) {
+	res := RunFig16(DefaultFig16Config(1))
+	noShapeErrors(t, res.ShapeCheck())
+	if len(res.WithModel.Y) != 50 {
+		t.Fatal("series length wrong")
+	}
+}
+
+func TestExperimentsDeterministic(t *testing.T) {
+	a := RunFig7(Fig7Config{Seed: 5, Thetas: []float64{0, 0.6}, Rounds: 5})
+	b := RunFig7(Fig7Config{Seed: 5, Thetas: []float64{0, 0.6}, Rounds: 5})
+	for i := range a.Cells {
+		if a.Cells[i] != b.Cells[i] {
+			t.Fatalf("cell %d differs across identical runs", i)
+		}
+	}
+}
+
+func TestAblationEq7Shape(t *testing.T) {
+	cfg := DefaultAblationEq7Config(1)
+	cfg.Pairs = 4000
+	res := RunAblationEq7(cfg)
+	noShapeErrors(t, res.ShapeCheck())
+	// Deeper chains too: eq. 7's fold stays exact at depth 4.
+	cfg.Depth = 4
+	res = RunAblationEq7(cfg)
+	noShapeErrors(t, res.ShapeCheck())
+}
+
+func TestAblationCannikinShape(t *testing.T) {
+	cfg := DefaultAblationCannikinConfig(1)
+	cfg.Runs = 20
+	res := RunAblationCannikin(cfg)
+	noShapeErrors(t, res.ShapeCheck())
+}
+
+func TestAblationSelfDelegationShape(t *testing.T) {
+	cfg := DefaultAblationSelfDelegationConfig(1)
+	cfg.Iterations = 300
+	res := RunAblationSelfDelegation(cfg)
+	noShapeErrors(t, res.ShapeCheck())
+}
+
+func TestRegistryRunsEverything(t *testing.T) {
+	if len(Names()) < 13 {
+		t.Fatalf("registry has %d entries: %v", len(Names()), Names())
+	}
+	// The cheap entries actually run through the registry.
+	for _, name := range []string{"fig15", "ablation-eq7"} {
+		res, err := Run(name, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Table() == nil {
+			t.Fatalf("%s produced no table", name)
+		}
+	}
+}
+
+func TestShapeErrorMessage(t *testing.T) {
+	e := ShapeError{Experiment: "figX", Detail: "wrong"}
+	if e.Error() != "figX: wrong" {
+		t.Fatalf("error = %q", e.Error())
+	}
+}

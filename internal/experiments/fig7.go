@@ -1,0 +1,121 @@
+package experiments
+
+import (
+	"fmt"
+
+	"siot/internal/report"
+	"siot/internal/sim"
+	"siot/internal/socialgen"
+	"siot/internal/task"
+)
+
+// Fig7Config parameterizes the mutuality experiment (§5.3).
+type Fig7Config struct {
+	Seed uint64
+	// Thetas are the reverse-evaluation thresholds swept; the paper uses
+	// {0, 0.3, 0.6} where 0 reproduces unilateral evaluation.
+	Thetas []float64
+	// Rounds is the number of delegation rounds per (network, θ) cell;
+	// rates are measured over all rounds.
+	Rounds int
+}
+
+// DefaultFig7Config returns the paper's sweep.
+func DefaultFig7Config(seed uint64) Fig7Config {
+	return Fig7Config{Seed: seed, Thetas: []float64{0, 0.3, 0.6}, Rounds: 150}
+}
+
+// Fig7Cell is one bar triple of Fig. 7.
+type Fig7Cell struct {
+	Network     string
+	Theta       float64
+	Success     float64
+	Unavailable float64
+	Abuse       float64
+}
+
+// Fig7Result reproduces Fig. 7, "Comparison of success rates, unavailable
+// rates, and abuse rates of task delegations with different threshold value
+// θ_y(τ) in the reverse evaluations".
+type Fig7Result struct {
+	Cells []Fig7Cell
+}
+
+// RunFig7 sweeps the reverse-evaluation threshold over the three networks.
+func RunFig7(cfg Fig7Config) Fig7Result {
+	var res Fig7Result
+	tk := task.Uniform(1, task.CharCompute)
+	for _, profile := range Networks() {
+		net := socialgen.Generate(profile, cfg.Seed)
+		for _, theta := range cfg.Thetas {
+			pcfg := sim.DefaultPopulationConfig(cfg.Seed)
+			pcfg.Theta = theta
+			p := sim.NewPopulation(net, pcfg)
+			r := p.Rand(fmt.Sprintf("fig7-theta-%v", theta))
+			var c sim.MutualityCounters
+			for round := 0; round < cfg.Rounds; round++ {
+				sim.MutualityRound(p, tk, r, &c)
+			}
+			res.Cells = append(res.Cells, Fig7Cell{
+				Network:     profile.Name,
+				Theta:       theta,
+				Success:     c.SuccessRate(),
+				Unavailable: c.UnavailableRate(),
+				Abuse:       c.AbuseRate(),
+			})
+		}
+	}
+	return res
+}
+
+// Table renders the figure's bars as rows.
+func (r Fig7Result) Table() *report.Table {
+	t := &report.Table{
+		Title:   "Fig. 7: success / unavailable / abuse rates vs reverse-evaluation threshold",
+		Headers: []string{"Network", "theta", "Success", "Unavailable", "Abuse"},
+	}
+	for _, c := range r.Cells {
+		t.AddRow(c.Network, fmt.Sprintf("%.1f", c.Theta),
+			fmt.Sprintf("%.3f", c.Success), fmt.Sprintf("%.3f", c.Unavailable),
+			fmt.Sprintf("%.3f", c.Abuse))
+	}
+	return t
+}
+
+// cellsByNetwork groups cells preserving theta order.
+func (r Fig7Result) cellsByNetwork() map[string][]Fig7Cell {
+	m := map[string][]Fig7Cell{}
+	for _, c := range r.Cells {
+		m[c.Network] = append(m[c.Network], c)
+	}
+	return m
+}
+
+// ShapeCheck verifies Fig. 7's claims: with θ = 0 the abuse rate exceeds
+// 0.4 and nothing is unavailable; as θ grows, abuse falls and
+// unavailability rises, across all three networks.
+func (r Fig7Result) ShapeCheck() []error {
+	c := &shapeCheck{experiment: "fig7"}
+	for network, cells := range r.cellsByNetwork() {
+		for i, cell := range cells {
+			if cell.Theta == 0 {
+				c.expect(cell.Abuse > 0.3, "%s θ=0: abuse %.3f not > 0.3", network, cell.Abuse)
+				c.expect(cell.Unavailable == 0, "%s θ=0: unavailable %.3f != 0", network, cell.Unavailable)
+			}
+			if cell.Theta > 0 {
+				c.expect(cell.Unavailable < 1, "%s θ=%.1f: service deadlocked (unavailable = 1)", network, cell.Theta)
+				c.expect(cell.Success > 0, "%s θ=%.1f: no successful delegations", network, cell.Theta)
+			}
+			if i > 0 {
+				prev := cells[i-1]
+				c.expect(cell.Abuse <= prev.Abuse+0.02,
+					"%s: abuse did not fall from θ=%.1f to θ=%.1f (%.3f → %.3f)",
+					network, prev.Theta, cell.Theta, prev.Abuse, cell.Abuse)
+				c.expect(cell.Unavailable >= prev.Unavailable-0.02,
+					"%s: unavailability did not rise from θ=%.1f to θ=%.1f (%.3f → %.3f)",
+					network, prev.Theta, cell.Theta, prev.Unavailable, cell.Unavailable)
+			}
+		}
+	}
+	return c.errs
+}

@@ -1,0 +1,132 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"siot/internal/report"
+	"siot/internal/stats"
+)
+
+// Result is the common surface of every experiment result: a summary table
+// and the qualitative shape checks against the paper's claims.
+type Result interface {
+	Table() *report.Table
+	ShapeCheck() []error
+}
+
+// Charter is implemented by results that can render figure curves.
+type Charter interface {
+	Charts() []report.Chart
+}
+
+// Charts implements Charter for the sweep results.
+func (r TransitivityResult) Charts() []report.Chart {
+	return []report.Chart{
+		{Title: "Fig. 9: success rate vs number of characteristics", Series: r.SuccessSeries(),
+			XLabel: "characteristics in the network", YLabel: "success rate"},
+		{Title: "Fig. 10: unavailable rate vs number of characteristics", Series: r.UnavailableSeries(),
+			XLabel: "characteristics in the network", YLabel: "unavailable rate"},
+		{Title: "Fig. 11: average number of potential trustees", Series: r.PotentialSeries(),
+			XLabel: "characteristics in the network", YLabel: "potential trustees"},
+	}
+}
+
+// Charts implements Charter.
+func (r Fig12Result) Charts() []report.Chart {
+	return []report.Chart{{
+		Title:  "Fig. 12: number of inquired nodes per (sorted) trustor",
+		Series: r.Series(), XLabel: "(sorted) trustor index", YLabel: "inquired nodes",
+	}}
+}
+
+// Charts implements Charter.
+func (r Fig13Result) Charts() []report.Chart {
+	return []report.Chart{{
+		Title:  "Fig. 13: average net profit vs iterations",
+		Series: r.Series, XLabel: "iteration", YLabel: "net profit",
+	}}
+}
+
+// Charts implements Charter.
+func (r Fig15Result) Charts() []report.Chart {
+	return []report.Chart{{
+		Title:  "Fig. 15: tracked success rate under a changing environment",
+		Series: r.AllSeries(), XLabel: "iteration", YLabel: "expected success rate",
+	}}
+}
+
+// Charts implements Charter.
+func (r Fig8Result) Charts() []report.Chart {
+	return []report.Chart{{
+		Title:  "Fig. 8: percentage selecting honest devices per experiment",
+		Series: []stats.Series{r.WithModel, r.WithoutModel},
+		XLabel: "experiment index", YLabel: "% honest selections",
+	}}
+}
+
+// Charts implements Charter.
+func (r Fig14Result) Charts() []report.Chart {
+	return []report.Chart{{
+		Title:  "Fig. 14: trustor active time per task index",
+		Series: []stats.Series{r.WithModel, r.WithoutModel},
+		XLabel: "experiment index", YLabel: "active time (ms)",
+	}}
+}
+
+// Charts implements Charter.
+func (r Fig16Result) Charts() []report.Chart {
+	return []report.Chart{{
+		Title:  "Fig. 16: net profit across the light schedule",
+		Series: []stats.Series{r.WithModel, r.WithoutModel},
+		XLabel: "experiment index", YLabel: "net profit",
+	}}
+}
+
+// Fig7Result renders its rate triples as one chart per metric-free view;
+// bars do not translate to line charts, so it offers the table only.
+
+// runners maps experiment IDs to their default-configuration runners.
+var runners = map[string]func(seed uint64) Result{
+	"table1": func(seed uint64) Result { return RunTable1(seed) },
+	"fig7":   func(seed uint64) Result { return RunFig7(DefaultFig7Config(seed)) },
+	"fig8":   func(seed uint64) Result { return RunFig8(DefaultFig8Config(seed)) },
+	"figs9-11": func(seed uint64) Result {
+		return RunTransitivitySweep(DefaultTransitivityConfig(seed))
+	},
+	"fig12":  func(seed uint64) Result { return RunFig12(DefaultFig12Config(seed)) },
+	"table2": func(seed uint64) Result { return RunTable2(DefaultTable2Config(seed)) },
+	"fig13":  func(seed uint64) Result { return RunFig13(DefaultFig13Config(seed)) },
+	"fig14":  func(seed uint64) Result { return RunFig14(DefaultFig14Config(seed)) },
+	"fig15":  func(seed uint64) Result { return RunFig15(DefaultFig15Config(seed)) },
+	"fig16":  func(seed uint64) Result { return RunFig16(DefaultFig16Config(seed)) },
+	"ablation-eq7": func(seed uint64) Result {
+		return RunAblationEq7(DefaultAblationEq7Config(seed))
+	},
+	"ablation-cannikin": func(seed uint64) Result {
+		return RunAblationCannikin(DefaultAblationCannikinConfig(seed))
+	},
+	"ablation-self": func(seed uint64) Result {
+		return RunAblationSelfDelegation(DefaultAblationSelfDelegationConfig(seed))
+	},
+}
+
+// Names lists the registered experiment IDs in sorted order.
+func Names() []string {
+	out := make([]string, 0, len(runners))
+	for name := range runners {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Run executes the named experiment with its paper-scale default
+// configuration.
+func Run(name string, seed uint64) (Result, error) {
+	r, ok := runners[name]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown experiment %q (known: %v)", name, Names())
+	}
+	return r(seed), nil
+}

@@ -1,0 +1,104 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"siot/internal/stats"
+)
+
+func TestTableRender(t *testing.T) {
+	tb := &Table{Title: "T", Headers: []string{"a", "bbbb"}}
+	tb.AddRow("1", "2")
+	tb.AddRow("333") // short row padded
+	var b strings.Builder
+	if err := tb.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "T\n") || !strings.Contains(out, "a") {
+		t.Fatalf("render output:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, separator, 2 rows
+		t.Fatalf("line count = %d:\n%s", len(lines), out)
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := &Table{Headers: []string{"x", "y"}}
+	tb.AddRow(`va"l`, "1,2")
+	var b strings.Builder
+	if err := tb.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, `"va""l"`) {
+		t.Fatalf("quote escaping wrong: %s", out)
+	}
+	if !strings.Contains(out, `"1,2"`) {
+		t.Fatalf("comma quoting wrong: %s", out)
+	}
+}
+
+func TestChartRender(t *testing.T) {
+	c := &Chart{
+		Title:  "fig",
+		Width:  40,
+		Height: 8,
+		Series: []stats.Series{
+			stats.NewSeries("up", []float64{0, 1, 2, 3}),
+			stats.NewSeries("down", []float64{3, 2, 1, 0}),
+		},
+	}
+	var b strings.Builder
+	if err := c.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "fig") {
+		t.Fatal("title missing")
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Fatalf("markers missing:\n%s", out)
+	}
+	if !strings.Contains(out, "up") || !strings.Contains(out, "down") {
+		t.Fatal("legend missing")
+	}
+}
+
+func TestChartEmpty(t *testing.T) {
+	c := &Chart{Title: "none"}
+	var b strings.Builder
+	if err := c.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "no data") {
+		t.Fatal("empty chart message missing")
+	}
+}
+
+func TestChartConstantSeries(t *testing.T) {
+	// Constant y must not divide by zero.
+	c := &Chart{Series: []stats.Series{stats.NewSeries("flat", []float64{2, 2, 2})}}
+	var b strings.Builder
+	if err := c.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSeriesCSV(t *testing.T) {
+	var b strings.Builder
+	err := SeriesCSV(&b,
+		stats.Series{Name: "s1", X: []float64{0, 1}, Y: []float64{5, 6}},
+		stats.Series{Name: "s2", X: []float64{0}, Y: []float64{7}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	want := "series,x,y\ns1,0,5\ns1,1,6\ns2,0,7\n"
+	if out != want {
+		t.Fatalf("csv = %q, want %q", out, want)
+	}
+}

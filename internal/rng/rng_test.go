@@ -1,0 +1,117 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewDeterministic(t *testing.T) {
+	a := New(42, "net", "facebook")
+	b := New(42, "net", "facebook")
+	for i := 0; i < 100; i++ {
+		if av, bv := a.Uint64(), b.Uint64(); av != bv {
+			t.Fatalf("sequence diverged at %d: %d != %d", i, av, bv)
+		}
+	}
+}
+
+func TestLabelsChangeStream(t *testing.T) {
+	a := New(42, "net", "facebook")
+	b := New(42, "net", "twitter")
+	same := 0
+	for i := 0; i < 64; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("streams with different labels collided %d/64 times", same)
+	}
+}
+
+func TestSeedChangesStream(t *testing.T) {
+	a := New(1, "x")
+	b := New(2, "x")
+	if a.Uint64() == b.Uint64() {
+		t.Fatal("different seeds produced identical first values")
+	}
+}
+
+func TestLabelChainNotConcatenation(t *testing.T) {
+	// ("ab", "c") must differ from ("a", "bc"): labels are length-delimited.
+	a := New(7, "ab", "c")
+	b := New(7, "a", "bc")
+	diff := false
+	for i := 0; i < 16; i++ {
+		if a.Uint64() != b.Uint64() {
+			diff = true
+			break
+		}
+	}
+	if !diff {
+		t.Fatal("label boundaries are not separated in derivation")
+	}
+}
+
+func TestSplitIndependentPerIndex(t *testing.T) {
+	a := Split(9, "runs", 0)
+	b := Split(9, "runs", 1)
+	if a.Uint64() == b.Uint64() && a.Uint64() == b.Uint64() {
+		t.Fatal("Split streams for adjacent indices look identical")
+	}
+	c := Split(9, "runs", 0)
+	r := Split(9, "runs", 0)
+	for i := 0; i < 50; i++ {
+		if c.Uint64() != r.Uint64() {
+			t.Fatalf("Split not deterministic at draw %d", i)
+		}
+	}
+}
+
+func TestMixDeterministic(t *testing.T) {
+	if Mix(3, "a", "b") != Mix(3, "a", "b") {
+		t.Fatal("Mix is not deterministic")
+	}
+	if Mix(3, "a") == Mix(4, "a") {
+		t.Fatal("Mix ignores seed")
+	}
+}
+
+func TestFloat64Bounds(t *testing.T) {
+	r := New(11, "bounds")
+	for i := 0; i < 10000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", v)
+		}
+	}
+}
+
+func TestUniformity(t *testing.T) {
+	// Coarse chi-square-ish sanity check over 10 buckets.
+	r := New(99, "uniform")
+	const n = 100000
+	var buckets [10]int
+	for i := 0; i < n; i++ {
+		buckets[int(r.Float64()*10)]++
+	}
+	for i, c := range buckets {
+		frac := float64(c) / n
+		if math.Abs(frac-0.1) > 0.01 {
+			t.Fatalf("bucket %d has fraction %v, want ~0.1", i, frac)
+		}
+	}
+}
+
+func TestQuickMixLabelSensitivity(t *testing.T) {
+	f := func(seed uint64, a, b string) bool {
+		if a == b {
+			return true
+		}
+		return Mix(seed, a) != Mix(seed, b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

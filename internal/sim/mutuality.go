@@ -1,0 +1,89 @@
+package sim
+
+import (
+	"math/rand/v2"
+
+	"siot/internal/agent"
+	"siot/internal/core"
+	"siot/internal/env"
+	"siot/internal/task"
+)
+
+// MutualityCounters aggregates the Fig. 7 metrics.
+type MutualityCounters struct {
+	// Requests counts delegation requests issued by trustors.
+	Requests int
+	// Successes counts delegations whose task was accomplished.
+	Successes int
+	// Unavailable counts requests no trustee accepted ("some trustors may
+	// not find any trustee to accept task τ because of the low
+	// trustworthiness values in the reverse evaluations").
+	Unavailable int
+	// Uses counts granted uses of trustee resources; Abuses the abusive
+	// subset.
+	Uses   int
+	Abuses int
+}
+
+// SuccessRate is successes over requests.
+func (c MutualityCounters) SuccessRate() float64 { return ratio(c.Successes, c.Requests) }
+
+// UnavailableRate is unanswered requests over requests.
+func (c MutualityCounters) UnavailableRate() float64 { return ratio(c.Unavailable, c.Requests) }
+
+// AbuseRate is abusive uses over all uses of trustees' resources.
+func (c MutualityCounters) AbuseRate() float64 { return ratio(c.Abuses, c.Uses) }
+
+func ratio(num, den int) float64 {
+	if den == 0 {
+		return 0
+	}
+	return float64(num) / float64(den)
+}
+
+// MutualityRound plays one round of the Fig. 7 experiment: every trustor
+// requests task tk from its best-trusted trustee neighbor; each candidate
+// reverse-evaluates the trustor against θ (eq. 1); accepted delegations
+// execute, the trustor possibly abuses the granted resource, and the trustee
+// logs the usage for future reverse evaluations.
+func MutualityRound(p *Population, tk task.Task, r *rand.Rand, c *MutualityCounters) {
+	order := r.Perm(len(p.Trustors))
+	for _, ti := range order {
+		x := p.Trustors[ti]
+		trustor := p.Agent(x)
+		nbrs := p.TrusteeNeighbors(x)
+		if len(nbrs) == 0 {
+			continue // socially isolated from trustees: not a request
+		}
+		c.Requests++
+		cands := make([]core.Candidate, 0, len(nbrs))
+		for _, y := range nbrs {
+			tw, ok := trustor.Store.BestTW(y, tk)
+			if !ok {
+				tw = 0.5 // neutral prior before any experience
+			}
+			cands = append(cands, core.Candidate{ID: y, TW: tw})
+		}
+		chosen, ok := core.SelectMutual(cands, func(y core.AgentID) bool {
+			return p.Agent(y).AcceptsDelegation(x)
+		})
+		if !ok {
+			c.Unavailable++
+			continue
+		}
+		trustee := p.Agent(chosen.ID)
+		out := trustee.Act(tk, env.Perfect, agent.DefaultActConfig(), r)
+		if out.Success {
+			c.Successes++
+		}
+		trustor.Store.Observe(chosen.ID, tk, out, core.PerfectEnv())
+
+		// The trustor now uses the granted resource; the trustee logs how.
+		abusive := trustor.Behavior.UsesAbusively(r)
+		trustee.Store.ObserveUsage(x, abusive)
+		c.Uses++
+		if abusive {
+			c.Abuses++
+		}
+	}
+}

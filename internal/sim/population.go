@@ -1,0 +1,165 @@
+// Package sim animates the trust model over a social network: it assigns
+// roles and ground-truth behaviors to the nodes of a generated (or loaded)
+// social graph and drives the delegation rounds behind the paper's
+// simulation experiments — mutuality (Fig. 7), transitivity (Figs. 9–12 and
+// Table 2), and net-profit learning (Fig. 13).
+package sim
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"siot/internal/agent"
+	"siot/internal/core"
+	"siot/internal/graph"
+	"siot/internal/rng"
+	"siot/internal/socialgen"
+	"siot/internal/task"
+)
+
+// PopulationConfig controls role assignment and agent behavior generation.
+type PopulationConfig struct {
+	// Seed drives every random choice of the population build.
+	Seed uint64
+	// TrustorFrac and TrusteeFrac are the role fractions; the paper uses
+	// "about 40% of the nodes as trustors and about 40% of the nodes as
+	// trustees". Remaining nodes are bystanders (they relay recommendations
+	// but neither request nor serve).
+	TrustorFrac, TrusteeFrac float64
+	// Theta is the reverse-evaluation threshold θ_y(τ) installed on every
+	// trustee (Fig. 7 sweeps it).
+	Theta float64
+	// Update configures every agent's trust store.
+	Update core.UpdateConfig
+}
+
+// DefaultPopulationConfig mirrors the paper's simulation setup.
+func DefaultPopulationConfig(seed uint64) PopulationConfig {
+	return PopulationConfig{
+		Seed:        seed,
+		TrustorFrac: 0.4,
+		TrusteeFrac: 0.4,
+		Update:      core.DefaultUpdateConfig(),
+	}
+}
+
+// Population is a social network whose nodes are live agents.
+type Population struct {
+	Net    *socialgen.Network
+	Agents []*agent.Agent // indexed by node ID
+	// Trustors and Trustees list the role members in ascending ID order.
+	Trustors []core.AgentID
+	Trustees []core.AgentID
+	cfg      PopulationConfig
+}
+
+// NewPopulation assigns roles and behaviors over the given social network.
+// Trustor responsibility is drawn uniformly from [0, 1] ("we assign each
+// trustor a trustworthiness value which is a random number in [0, 1]") and
+// trustee competence per characteristic is uniform in [0, 1] as in §5.5.
+func NewPopulation(net *socialgen.Network, cfg PopulationConfig) *Population {
+	n := net.Graph.NumNodes()
+	if n == 0 {
+		panic("sim: empty network")
+	}
+	if cfg.TrustorFrac < 0 || cfg.TrusteeFrac < 0 || cfg.TrustorFrac+cfg.TrusteeFrac > 1 {
+		panic(fmt.Sprintf("sim: invalid role fractions %v/%v", cfg.TrustorFrac, cfg.TrusteeFrac))
+	}
+	r := rng.New(cfg.Seed, "population", net.Profile.Name)
+	perm := r.Perm(n)
+	numTrustors := int(cfg.TrustorFrac * float64(n))
+	numTrustees := int(cfg.TrusteeFrac * float64(n))
+
+	p := &Population{Net: net, Agents: make([]*agent.Agent, n), cfg: cfg}
+	for i, node := range perm {
+		id := core.AgentID(node)
+		var kind agent.Kind
+		switch {
+		case i < numTrustors:
+			kind = agent.KindTrustor
+		case i < numTrustors+numTrustees:
+			kind = agent.KindTrustee
+		default:
+			kind = agent.KindBystander
+		}
+		b := agent.Behavior{
+			BaseCompetence: r.Float64(),
+			Responsibility: r.Float64(),
+			Competence:     map[task.Characteristic]float64{},
+		}
+		a := agent.New(id, kind, b, cfg.Update)
+		a.Theta = cfg.Theta
+		p.Agents[node] = a
+		switch kind {
+		case agent.KindTrustor:
+			p.Trustors = append(p.Trustors, id)
+		case agent.KindTrustee:
+			p.Trustees = append(p.Trustees, id)
+		}
+	}
+	sortIDs(p.Trustors)
+	sortIDs(p.Trustees)
+	return p
+}
+
+func sortIDs(ids []core.AgentID) {
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+}
+
+// Agent returns the agent at a node.
+func (p *Population) Agent(id core.AgentID) *agent.Agent { return p.Agents[id] }
+
+// Config returns the population configuration.
+func (p *Population) Config() PopulationConfig { return p.cfg }
+
+// Rand derives a deterministic stream for one experiment phase.
+func (p *Population) Rand(label string) *rand.Rand {
+	return rng.New(p.cfg.Seed, "sim", p.Net.Profile.Name, label)
+}
+
+// Neighbors returns the social neighbors of an agent.
+func (p *Population) Neighbors(id core.AgentID) []core.AgentID {
+	nbrs := p.Net.Graph.Neighbors(graph.NodeID(id))
+	out := make([]core.AgentID, len(nbrs))
+	for i, v := range nbrs {
+		out[i] = core.AgentID(v)
+	}
+	return out
+}
+
+// TrusteeNeighbors returns the trustee-kind neighbors of an agent — the
+// direct candidate set used by the mutuality and net-profit experiments.
+func (p *Population) TrusteeNeighbors(id core.AgentID) []core.AgentID {
+	var out []core.AgentID
+	for _, v := range p.Neighbors(id) {
+		k := p.Agents[v].Kind
+		if k == agent.KindTrustee || k == agent.KindDishonestTrustee {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// Searcher builds a transitivity searcher over the population's live trust
+// stores. Any node may relay recommendations, but only trustee-role agents
+// may become potential trustees, matching the paper's role split.
+func (p *Population) Searcher(maxDepth int, omega1, omega2 float64) *core.Searcher {
+	return &core.Searcher{
+		Neighbors: p.Neighbors,
+		Records: func(holder, about core.AgentID) []core.Record {
+			return p.Agents[holder].Store.Records(about)
+		},
+		Norm:     p.cfg.Update.Norm,
+		MaxDepth: maxDepth,
+		Omega1:   omega1,
+		Omega2:   omega2,
+		CandidateFilter: func(id core.AgentID) bool {
+			k := p.Agents[id].Kind
+			return k == agent.KindTrustee || k == agent.KindDishonestTrustee
+		},
+	}
+}

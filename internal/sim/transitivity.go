@@ -1,0 +1,261 @@
+package sim
+
+import (
+	"math/rand/v2"
+
+	"siot/internal/core"
+	"siot/internal/rng"
+	"siot/internal/task"
+)
+
+// TransitivitySetup configures the transitivity experiments of §5.5.
+type TransitivitySetup struct {
+	// Universe is the closed set of task types circulating in the network.
+	Universe task.Universe
+	// TasksPerNode is how many experienced task types each node carries
+	// ("Every network node keeps the trustworthiness records of two
+	// different tasks").
+	TasksPerNode int
+	// MaxDepth bounds the recommendation chains.
+	MaxDepth int
+	// Omega1, Omega2 are the ω thresholds of eqs. 7 and 11.
+	Omega1, Omega2 float64
+	// RecordNoise perturbs seeded expectations around the node's actual
+	// capability ("neighboring nodes ... establish the trustworthiness of
+	// this node that approaches its actual capability").
+	RecordNoise float64
+	// RecordDensity is the probability that a given social neighbor holds
+	// direct experience records about a node. Real networks are sparse in
+	// experience — only "neighboring nodes that have direct experiences"
+	// carry records — and this density reproduces the paper's unavailable
+	// rates and potential-trustee counts.
+	RecordDensity float64
+	// UnknownFrac is the fraction of nodes nobody has experience with yet
+	// (newcomers). Zero-inflating experience reproduces the paper's lumpy
+	// availability: many trustors find no candidate while the others find
+	// several good ones.
+	UnknownFrac float64
+}
+
+// DefaultTransitivitySetup mirrors the paper's parameters for a given
+// characteristic-alphabet size. The ω thresholds are 0: §5.5 describes the
+// delegation operationally — requests are relayed through any node with
+// relevant experience and the trustor picks the candidate with the highest
+// transferred trustworthiness — so selection, not gating, does the work.
+// (With ω1 = 0 the aggressive candidate set provably contains the
+// conservative one, which is the containment behind Fig. 11.)
+func DefaultTransitivitySetup(numChars int, r *rand.Rand) TransitivitySetup {
+	return TransitivitySetup{
+		Universe:      task.NewUniverse(2*numChars, numChars, r),
+		TasksPerNode:  2,
+		MaxDepth:      2,
+		Omega1:        0,
+		Omega2:        0,
+		RecordNoise:   0.08,
+		RecordDensity: 0.55,
+		UnknownFrac:   0.3,
+	}
+}
+
+// SeedExperience prepares the ground truth and experience records:
+//
+//   - every node gets a per-characteristic capability drawn uniformly from
+//     [0, 1] (stored in its agent behavior);
+//   - every node is assigned TasksPerNode experienced task types;
+//   - every social neighbor receives an experience record about the node
+//     for those tasks, with expectation tracking the node's true capability
+//     up to RecordNoise.
+//
+// It returns the per-node experienced task list for tests and reports.
+func SeedExperience(p *Population, setup TransitivitySetup, r *rand.Rand) [][]task.Task {
+	n := len(p.Agents)
+	experienced := make([][]task.Task, n)
+	// Ground-truth capabilities per characteristic.
+	for _, a := range p.Agents {
+		for c := 0; c < setup.Universe.NumCharacteristics; c++ {
+			a.Behavior.Competence[task.Characteristic(c)] = r.Float64()
+		}
+	}
+	// Experienced tasks and neighbor records. Newcomers (UnknownFrac) have
+	// no holders; otherwise a RecordDensity fraction of neighbors carries
+	// direct experience with the node.
+	density := setup.RecordDensity
+	if density <= 0 {
+		density = 1
+	}
+	for node, a := range p.Agents {
+		types := r.Perm(len(setup.Universe.Tasks))[:setup.TasksPerNode]
+		var holders []core.AgentID
+		if r.Float64() >= setup.UnknownFrac {
+			for _, u := range p.Neighbors(a.ID) {
+				if r.Float64() < density {
+					holders = append(holders, u)
+				}
+			}
+		}
+		for _, ti := range types {
+			tk := setup.Universe.Tasks[ti]
+			experienced[node] = append(experienced[node], tk)
+			// Having accomplished a task implies competence on its
+			// characteristics ("potential trustees who have accomplished
+			// tasks that contain ... the characteristics").
+			for _, ch := range tk.Characteristics() {
+				if a.Behavior.Competence[ch] < 0.55 {
+					a.Behavior.Competence[ch] = 0.55 + 0.4*r.Float64()
+				}
+			}
+			cap := a.Behavior.TaskCompetence(tk)
+			for _, u := range holders {
+				// The neighbor's record approaches the true capability.
+				s := clamp01(cap + setup.RecordNoise*(2*r.Float64()-1))
+				exp := core.Expectation{S: s, G: s, D: 1 - s, C: 0}
+				p.Agent(u).Store.Seed(a.ID, tk, exp)
+			}
+		}
+	}
+	return experienced
+}
+
+// SeedExperienceFromFeatures is the Table 2 variant of SeedExperience:
+// "some real-world node properties of the three social networks ...
+// represent task characteristics". The node's profile features (from the
+// network generator or loader) play the role of characteristics — a node is
+// genuinely capable on featured characteristics and weak elsewhere, and its
+// experienced tasks are drawn among universe tasks touching its features.
+func SeedExperienceFromFeatures(p *Population, setup TransitivitySetup, r *rand.Rand) [][]task.Task {
+	n := len(p.Agents)
+	experienced := make([][]task.Task, n)
+	feats := p.Net.Features
+	for node, a := range p.Agents {
+		have := map[task.Characteristic]bool{}
+		if node < len(feats) {
+			for _, f := range feats[node] {
+				have[task.Characteristic(f)] = true
+			}
+		}
+		for c := 0; c < setup.Universe.NumCharacteristics; c++ {
+			ch := task.Characteristic(c)
+			if have[ch] {
+				a.Behavior.Competence[ch] = 0.6 + 0.35*r.Float64()
+			} else {
+				a.Behavior.Competence[ch] = 0.3 * r.Float64()
+			}
+		}
+		// Prefer experienced tasks that touch the node's features.
+		var preferred, rest []int
+		for ti, tk := range setup.Universe.Tasks {
+			touches := false
+			for _, c := range tk.Characteristics() {
+				if have[c] {
+					touches = true
+					break
+				}
+			}
+			if touches {
+				preferred = append(preferred, ti)
+			} else {
+				rest = append(rest, ti)
+			}
+		}
+		r.Shuffle(len(preferred), func(i, j int) { preferred[i], preferred[j] = preferred[j], preferred[i] })
+		r.Shuffle(len(rest), func(i, j int) { rest[i], rest[j] = rest[j], rest[i] })
+		pick := append(append([]int(nil), preferred...), rest...)[:setup.TasksPerNode]
+		density := setup.RecordDensity
+		if density <= 0 {
+			density = 1
+		}
+		var holders []core.AgentID
+		if r.Float64() >= setup.UnknownFrac {
+			for _, u := range p.Neighbors(a.ID) {
+				if r.Float64() < density {
+					holders = append(holders, u)
+				}
+			}
+		}
+		for _, ti := range pick {
+			tk := setup.Universe.Tasks[ti]
+			experienced[node] = append(experienced[node], tk)
+			// Accomplished tasks imply competence on their characteristics.
+			for _, ch := range tk.Characteristics() {
+				if a.Behavior.Competence[ch] < 0.55 {
+					a.Behavior.Competence[ch] = 0.55 + 0.4*r.Float64()
+				}
+			}
+			cap := a.Behavior.TaskCompetence(tk)
+			for _, u := range holders {
+				s := clamp01(cap + setup.RecordNoise*(2*r.Float64()-1))
+				p.Agent(u).Store.Seed(a.ID, tk, core.Expectation{S: s, G: s, D: 1 - s, C: 0})
+			}
+		}
+	}
+	return experienced
+}
+
+// TransitivityStats aggregates the per-trustor results of one transitivity
+// run — the metrics of Figs. 9–12 and Table 2.
+type TransitivityStats struct {
+	Requests    int
+	Successes   int
+	Unavailable int
+	// PotentialTrustees sums the candidate counts (Fig. 11 divides by
+	// Requests).
+	PotentialTrustees int
+	// InquiredPerTrustor records each trustor's search overhead (Fig. 12).
+	InquiredPerTrustor []int
+}
+
+// SuccessRate is successes over requests.
+func (s TransitivityStats) SuccessRate() float64 { return ratio(s.Successes, s.Requests) }
+
+// UnavailableRate is unanswered requests over requests.
+func (s TransitivityStats) UnavailableRate() float64 { return ratio(s.Unavailable, s.Requests) }
+
+// AvgPotentialTrustees is the mean candidate count per request.
+func (s TransitivityStats) AvgPotentialTrustees() float64 {
+	return ratio(s.PotentialTrustees, s.Requests)
+}
+
+// TransitivityRun has every trustor issue one random task request resolved
+// through the given trust-transfer policy. The trustor delegates to the
+// candidate with the highest transferred trustworthiness; the delegation
+// succeeds with probability equal to the trustee's true task capability.
+// Only unilateral evaluation is used, matching the paper ("we only consider
+// unilateral evaluation ... in order not to mix the performances of
+// different features").
+//
+// The per-trustor task sequence is derived from seed independently of the
+// policy, so runs with the same seed compare the three methods on the same
+// workload, as the paper's figures do.
+func TransitivityRun(p *Population, setup TransitivitySetup, policy core.Policy, seed uint64) TransitivityStats {
+	s := p.Searcher(setup.MaxDepth, setup.Omega1, setup.Omega2)
+	taskRng := rng.New(seed, "transitivity-tasks", p.Net.Profile.Name)
+	outcomeRng := rng.New(seed, "transitivity-outcomes", p.Net.Profile.Name, policy.String())
+	var st TransitivityStats
+	for _, x := range p.Trustors {
+		tk := setup.Universe.Random(taskRng)
+		st.Requests++
+		res := s.Find(x, tk, policy)
+		st.PotentialTrustees += len(res.Candidates)
+		st.InquiredPerTrustor = append(st.InquiredPerTrustor, res.Inquired)
+		best, ok := res.Best()
+		if !ok {
+			st.Unavailable++
+			continue
+		}
+		capability := p.Agent(best.ID).Behavior.TaskCompetence(tk)
+		if outcomeRng.Float64() < capability {
+			st.Successes++
+		}
+	}
+	return st
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}

@@ -1,0 +1,242 @@
+// Package task models tasks as weighted bags of characteristics, the
+// representation behind the paper's inferential transfer of trust (§4.2).
+//
+// A task τ carries characteristics {a_j(τ)} with importance weights
+// {w_j(τ)}. Two different tasks that share a characteristic (say, GPS
+// sampling appearing in both a navigation task and a traffic-report task)
+// let a trustor infer trustworthiness for one from experience with the other
+// (eqs. 2–4 of the paper). The Type identifies the task context for the
+// context-dependent parts of the model (transitivity restrictions, per-task
+// thresholds).
+package task
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"sort"
+	"strings"
+)
+
+// Characteristic identifies one capability a task requires (e.g. GPS
+// sampling, image capture, velocity estimation).
+type Characteristic int
+
+// Type identifies a task type. Tasks of the same type are "the exact same
+// task" for the traditional trust-transfer baseline, which cannot look
+// inside a task at its characteristics.
+type Type int
+
+// Task is a delegable unit of work: a type plus its weighted
+// characteristics. Weights are importance factors w_i(τ) and are kept
+// normalized to sum to 1.
+type Task struct {
+	typ     Type
+	chars   []Characteristic // sorted
+	weights []float64        // parallel to chars, sums to 1
+}
+
+// New builds a task of the given type from characteristic→weight pairs.
+// Weights must be positive; they are normalized to sum to 1. At least one
+// characteristic is required.
+func New(typ Type, weighted map[Characteristic]float64) (Task, error) {
+	if len(weighted) == 0 {
+		return Task{}, fmt.Errorf("task: type %d has no characteristics", typ)
+	}
+	chars := make([]Characteristic, 0, len(weighted))
+	var total float64
+	for c, w := range weighted {
+		if w <= 0 {
+			return Task{}, fmt.Errorf("task: characteristic %d has non-positive weight %v", c, w)
+		}
+		chars = append(chars, c)
+		total += w
+	}
+	sort.Slice(chars, func(i, j int) bool { return chars[i] < chars[j] })
+	weights := make([]float64, len(chars))
+	for i, c := range chars {
+		weights[i] = weighted[c] / total
+	}
+	return Task{typ: typ, chars: chars, weights: weights}, nil
+}
+
+// MustNew is New, panicking on error. For literals in tests and examples.
+func MustNew(typ Type, weighted map[Characteristic]float64) Task {
+	t, err := New(typ, weighted)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Uniform builds a task whose characteristics all carry equal weight.
+func Uniform(typ Type, chars ...Characteristic) Task {
+	m := make(map[Characteristic]float64, len(chars))
+	for _, c := range chars {
+		m[c] = 1
+	}
+	t, err := New(typ, m)
+	if err != nil {
+		panic(err) // only possible with zero characteristics
+	}
+	return t
+}
+
+// Type returns the task's type identifier.
+func (t Task) Type() Type { return t.typ }
+
+// Characteristics returns the sorted characteristic list. The slice is owned
+// by the task and must not be modified.
+func (t Task) Characteristics() []Characteristic { return t.chars }
+
+// Weight returns the normalized importance w_i(τ) of characteristic c, or 0
+// if the task does not include c.
+func (t Task) Weight(c Characteristic) float64 {
+	i := sort.Search(len(t.chars), func(i int) bool { return t.chars[i] >= c })
+	if i < len(t.chars) && t.chars[i] == c {
+		return t.weights[i]
+	}
+	return 0
+}
+
+// Has reports whether the task includes characteristic c.
+func (t Task) Has(c Characteristic) bool { return t.Weight(c) > 0 }
+
+// NumCharacteristics returns the number of characteristics in the task.
+func (t Task) NumCharacteristics() int { return len(t.chars) }
+
+// CoveredBy reports whether every characteristic of t appears in the union
+// of the given characteristic sets — the condition {a(τ″)} ⊆ {a(τ)} ∪ {a(τ′)}
+// behind conservative (eq. 8) and aggressive (eq. 12) transitivity.
+func (t Task) CoveredBy(sets ...[]Characteristic) bool {
+	union := make(map[Characteristic]bool)
+	for _, s := range sets {
+		for _, c := range s {
+			union[c] = true
+		}
+	}
+	for _, c := range t.chars {
+		if !union[c] {
+			return false
+		}
+	}
+	return true
+}
+
+// SharedCharacteristics returns the characteristics t has in common with
+// other.
+func (t Task) SharedCharacteristics(other Task) []Characteristic {
+	var out []Characteristic
+	i, j := 0, 0
+	for i < len(t.chars) && j < len(other.chars) {
+		switch {
+		case t.chars[i] < other.chars[j]:
+			i++
+		case t.chars[i] > other.chars[j]:
+			j++
+		default:
+			out = append(out, t.chars[i])
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+// String renders the task as "type#N{c0:w0 c1:w1 ...}".
+func (t Task) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "type#%d{", t.typ)
+	for i, c := range t.chars {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%d:%.2f", c, t.weights[i])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// Universe is a closed set of task types over a characteristic alphabet, as
+// used by the transitivity experiments (§5.5): "multiple types of tasks in
+// the network. Each task consists of one or two characteristics."
+type Universe struct {
+	// Tasks lists the task types in the universe, indexed by Type.
+	Tasks []Task
+	// NumCharacteristics is the size of the characteristic alphabet.
+	NumCharacteristics int
+}
+
+// NewUniverse draws numTypes distinct task types over an alphabet of
+// numChars characteristics; each task gets 1 or 2 characteristics with
+// random weights, mirroring the paper's simulation setup.
+func NewUniverse(numTypes, numChars int, r *rand.Rand) Universe {
+	if numChars < 1 {
+		panic("task: universe needs at least one characteristic")
+	}
+	u := Universe{NumCharacteristics: numChars}
+	seen := make(map[string]bool)
+	misses := 0
+	for len(u.Tasks) < numTypes {
+		n := 1 + r.IntN(2)
+		if n > numChars {
+			n = numChars
+		}
+		m := make(map[Characteristic]float64, n)
+		for len(m) < n {
+			m[Characteristic(r.IntN(numChars))] = 0.25 + 0.75*r.Float64()
+		}
+		t, err := New(Type(len(u.Tasks)), m)
+		if err != nil {
+			panic(err) // unreachable: m is non-empty with positive weights
+		}
+		key := t.String()[strings.IndexByte(t.String(), '{'):]
+		// Prefer distinct characteristic bags, but give up after a bounded
+		// number of consecutive collisions (tiny alphabets cannot supply
+		// numTypes distinct bags).
+		if seen[key] && misses < 8*numTypes+64 {
+			misses++
+			continue
+		}
+		misses = 0
+		seen[key] = true
+		u.Tasks = append(u.Tasks, t)
+	}
+	return u
+}
+
+// Random returns a uniformly random task type from the universe.
+func (u Universe) Random(r *rand.Rand) Task {
+	return u.Tasks[r.IntN(len(u.Tasks))]
+}
+
+// Named characteristics for the examples and documentation. The IDs are
+// arbitrary but stable.
+const (
+	CharGPS Characteristic = iota
+	CharImage
+	CharVelocity
+	CharTemperature
+	CharHumidity
+	CharAudio
+	CharStorage
+	CharCompute
+)
+
+// CharName returns a human-readable name for the built-in characteristics,
+// or "char#N" for others.
+func CharName(c Characteristic) string {
+	names := map[Characteristic]string{
+		CharGPS:         "gps",
+		CharImage:       "image",
+		CharVelocity:    "velocity",
+		CharTemperature: "temperature",
+		CharHumidity:    "humidity",
+		CharAudio:       "audio",
+		CharStorage:     "storage",
+		CharCompute:     "compute",
+	}
+	if n, ok := names[c]; ok {
+		return n
+	}
+	return fmt.Sprintf("char#%d", c)
+}

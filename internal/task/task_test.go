@@ -1,0 +1,183 @@
+package task
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"siot/internal/rng"
+)
+
+func TestNewNormalizesWeights(t *testing.T) {
+	tk, err := New(1, map[Characteristic]float64{CharGPS: 2, CharImage: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w := tk.Weight(CharGPS); math.Abs(w-0.25) > 1e-12 {
+		t.Fatalf("gps weight = %v, want 0.25", w)
+	}
+	if w := tk.Weight(CharImage); math.Abs(w-0.75) > 1e-12 {
+		t.Fatalf("image weight = %v, want 0.75", w)
+	}
+}
+
+func TestNewRejectsEmpty(t *testing.T) {
+	if _, err := New(1, nil); err == nil {
+		t.Fatal("empty task accepted")
+	}
+}
+
+func TestNewRejectsNonPositiveWeight(t *testing.T) {
+	if _, err := New(1, map[Characteristic]float64{CharGPS: 0}); err == nil {
+		t.Fatal("zero weight accepted")
+	}
+	if _, err := New(1, map[Characteristic]float64{CharGPS: -1}); err == nil {
+		t.Fatal("negative weight accepted")
+	}
+}
+
+func TestUniform(t *testing.T) {
+	tk := Uniform(3, CharGPS, CharImage, CharVelocity)
+	for _, c := range []Characteristic{CharGPS, CharImage, CharVelocity} {
+		if w := tk.Weight(c); math.Abs(w-1.0/3) > 1e-12 {
+			t.Fatalf("weight(%v) = %v, want 1/3", c, w)
+		}
+	}
+	if tk.Type() != 3 {
+		t.Fatalf("type = %d", tk.Type())
+	}
+}
+
+func TestWeightAbsent(t *testing.T) {
+	tk := Uniform(1, CharGPS)
+	if tk.Weight(CharAudio) != 0 {
+		t.Fatal("absent characteristic has weight")
+	}
+	if tk.Has(CharAudio) {
+		t.Fatal("absent characteristic reported present")
+	}
+	if !tk.Has(CharGPS) {
+		t.Fatal("present characteristic reported absent")
+	}
+}
+
+func TestCharacteristicsSorted(t *testing.T) {
+	tk := Uniform(1, CharCompute, CharGPS, CharAudio)
+	cs := tk.Characteristics()
+	for i := 1; i < len(cs); i++ {
+		if cs[i-1] >= cs[i] {
+			t.Fatalf("characteristics not sorted: %v", cs)
+		}
+	}
+	if tk.NumCharacteristics() != 3 {
+		t.Fatalf("count = %d", tk.NumCharacteristics())
+	}
+}
+
+func TestCoveredBy(t *testing.T) {
+	tk := Uniform(1, CharGPS, CharImage)
+	if !tk.CoveredBy([]Characteristic{CharGPS}, []Characteristic{CharImage, CharAudio}) {
+		t.Fatal("covered union reported uncovered")
+	}
+	if tk.CoveredBy([]Characteristic{CharGPS}) {
+		t.Fatal("partial cover reported covered")
+	}
+	if !tk.CoveredBy([]Characteristic{CharImage, CharGPS}) {
+		t.Fatal("single-set cover failed")
+	}
+}
+
+func TestSharedCharacteristics(t *testing.T) {
+	a := Uniform(1, CharGPS, CharImage, CharAudio)
+	b := Uniform(2, CharImage, CharAudio, CharCompute)
+	got := a.SharedCharacteristics(b)
+	if len(got) != 2 || got[0] != CharImage || got[1] != CharAudio {
+		t.Fatalf("shared = %v", got)
+	}
+	c := Uniform(3, CharStorage)
+	if len(a.SharedCharacteristics(c)) != 0 {
+		t.Fatal("disjoint tasks share characteristics")
+	}
+}
+
+func TestString(t *testing.T) {
+	tk := Uniform(7, CharGPS)
+	if got := tk.String(); got != "type#7{0:1.00}" {
+		t.Fatalf("String() = %q", got)
+	}
+}
+
+func TestNewUniverse(t *testing.T) {
+	r := rng.New(1, "universe")
+	u := NewUniverse(10, 5, r)
+	if len(u.Tasks) != 10 {
+		t.Fatalf("universe has %d tasks", len(u.Tasks))
+	}
+	for i, tk := range u.Tasks {
+		if tk.Type() != Type(i) {
+			t.Fatalf("task %d has type %d", i, tk.Type())
+		}
+		n := tk.NumCharacteristics()
+		if n < 1 || n > 2 {
+			t.Fatalf("task %d has %d characteristics, want 1 or 2", i, n)
+		}
+		for _, c := range tk.Characteristics() {
+			if c < 0 || int(c) >= u.NumCharacteristics {
+				t.Fatalf("task %d characteristic %d outside alphabet", i, c)
+			}
+		}
+	}
+}
+
+func TestNewUniverseSingleChar(t *testing.T) {
+	u := NewUniverse(3, 1, rng.New(2, "u1"))
+	for _, tk := range u.Tasks {
+		if tk.NumCharacteristics() != 1 {
+			t.Fatal("single-char alphabet produced multi-char task")
+		}
+	}
+}
+
+func TestUniverseRandom(t *testing.T) {
+	r := rng.New(3, "pick")
+	u := NewUniverse(5, 4, r)
+	seen := map[Type]bool{}
+	for i := 0; i < 200; i++ {
+		seen[u.Random(r).Type()] = true
+	}
+	if len(seen) != 5 {
+		t.Fatalf("Random hit %d of 5 types in 200 draws", len(seen))
+	}
+}
+
+func TestCharName(t *testing.T) {
+	if CharName(CharGPS) != "gps" {
+		t.Fatal("gps name wrong")
+	}
+	if CharName(Characteristic(99)) != "char#99" {
+		t.Fatal("fallback name wrong")
+	}
+}
+
+func TestQuickWeightsSumToOne(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw%6) + 1
+		r := rng.New(seed, "wsum")
+		m := make(map[Characteristic]float64)
+		for len(m) < n {
+			m[Characteristic(r.IntN(20))] = 0.01 + r.Float64()
+		}
+		tk, err := New(1, m)
+		if err != nil {
+			return false
+		}
+		var sum float64
+		for _, c := range tk.Characteristics() {
+			sum += tk.Weight(c)
+		}
+		return math.Abs(sum-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

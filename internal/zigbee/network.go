@@ -1,0 +1,466 @@
+package zigbee
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"sort"
+
+	"siot/internal/agent"
+	"siot/internal/core"
+	"siot/internal/env"
+	"siot/internal/rng"
+	"siot/internal/task"
+)
+
+// Config holds the radio and protocol parameters of the simulated testbed.
+// Defaults follow the CC2530 datasheet ballpark: 250 kbit/s over-the-air
+// rate, ~29 mA RX / ~34 mA TX at 3 V, 250 m reliable range.
+type Config struct {
+	Seed        uint64
+	BitrateKbps float64
+	RangeM      float64
+	TxPowerMw   float64
+	RxPowerMw   float64
+	// CSMA backoff drawn uniformly from [CsmaMinMs, CsmaMaxMs] per attempt.
+	CsmaMinMs, CsmaMaxMs Ms
+	// AckTimeoutMs is the retransmission timeout; MaxRetries bounds MAC
+	// retries for acknowledged frames.
+	AckTimeoutMs Ms
+	MaxRetries   int
+	// LossProb is the per-frame loss probability within range.
+	LossProb float64
+	// FragSize is the APS fragment payload for honest responders.
+	FragSize int
+	// ProcessMs is the trustee-side compute time per task.
+	ProcessMs Ms
+	// RequestBytes/ResponseBytes size the task request and result payloads.
+	RequestBytes  int
+	ResponseBytes int
+	// CostPerActiveMs converts the trustor's measured radio-active time
+	// into the normalized cost factor of the trust model (eq. 18's Ĉ).
+	CostPerActiveMs float64
+}
+
+// DefaultConfig returns the testbed parameters used by the experiments.
+func DefaultConfig(seed uint64) Config {
+	return Config{
+		Seed:            seed,
+		BitrateKbps:     250,
+		RangeM:          250,
+		TxPowerMw:       102, // ~34 mA * 3 V
+		RxPowerMw:       87,  // ~29 mA * 3 V
+		CsmaMinMs:       0.3,
+		CsmaMaxMs:       2.0,
+		AckTimeoutMs:    5,
+		MaxRetries:      3,
+		LossProb:        0.02,
+		FragSize:        64,
+		ProcessMs:       12,
+		RequestBytes:    24,
+		ResponseBytes:   512,
+		CostPerActiveMs: 1.0 / 700,
+	}
+}
+
+// Network is the simulated PAN: a coordinator plus node devices.
+type Network struct {
+	Sim      *Simulator
+	cfg      Config
+	r        *rand.Rand
+	coord    *Device
+	devices  map[DeviceAddr]*Device
+	order    []DeviceAddr
+	nextAddr DeviceAddr
+	msgID    uint32
+	// onMessage is the APS delivery hook used by Delegate.
+	handlers map[Cluster]func(dst *Device, src DeviceAddr, totalBytes int)
+}
+
+// NewNetwork creates a network containing only the coordinator, which
+// "scans the RF environment, chooses a channel and a network identifier,
+// and starts the network".
+func NewNetwork(cfg Config) *Network {
+	n := &Network{
+		Sim:      NewSimulator(),
+		cfg:      cfg,
+		r:        rng.New(cfg.Seed, "zigbee"),
+		devices:  make(map[DeviceAddr]*Device),
+		handlers: make(map[Cluster]func(*Device, DeviceAddr, int)),
+		nextAddr: 1,
+	}
+	n.coord = &Device{Addr: CoordAddr, Role: RoleCoordinator, Associated: true,
+		reassembly: map[reasmKey]*reasmState{}}
+	n.devices[CoordAddr] = n.coord
+	n.order = append(n.order, CoordAddr)
+	// Channel scan + network start cost a little coordinator airtime.
+	n.coord.ActiveMs += 96 // 802.15.4 scan of a few channels
+	return n
+}
+
+// Config returns the network configuration.
+func (n *Network) Config() Config { return n.cfg }
+
+// Coordinator returns the coordinator device.
+func (n *Network) Coordinator() *Device { return n.coord }
+
+// AddDevice joins a new node device (not yet associated) at pos with the
+// given agent. The returned device's address is stable and unique.
+func (n *Network) AddDevice(role Role, pos Position, ag *agent.Agent) *Device {
+	if role == RoleCoordinator {
+		panic("zigbee: network already has a coordinator")
+	}
+	d := &Device{
+		Addr: n.nextAddr, Role: role, Pos: pos, Agent: ag,
+		Sensor:     &OpticalSensor{DarkFloor: 0.1},
+		reassembly: map[reasmKey]*reasmState{},
+	}
+	n.nextAddr++
+	n.devices[d.Addr] = d
+	n.order = append(n.order, d.Addr)
+	return d
+}
+
+// Device returns the device with the given address.
+func (n *Network) Device(addr DeviceAddr) (*Device, bool) {
+	d, ok := n.devices[addr]
+	return d, ok
+}
+
+// Devices returns all devices in join order (coordinator first).
+func (n *Network) Devices() []*Device {
+	out := make([]*Device, 0, len(n.order))
+	for _, a := range n.order {
+		out = append(out, n.devices[a])
+	}
+	return out
+}
+
+// inRange reports whether two devices can hear each other.
+func (n *Network) inRange(a, b *Device) bool {
+	return dist2(a.Pos, b.Pos) <= n.cfg.RangeM*n.cfg.RangeM
+}
+
+// airMs returns the on-air duration of a frame.
+func (n *Network) airMs(f Frame) Ms {
+	return float64(f.AirBytes()) * 8 / n.cfg.BitrateKbps
+}
+
+// backoff draws one CSMA backoff.
+func (n *Network) backoff() Ms {
+	return n.cfg.CsmaMinMs + (n.cfg.CsmaMaxMs-n.cfg.CsmaMinMs)*n.r.Float64()
+}
+
+// transmit sends one MAC frame with CSMA backoff, loss, acknowledgment, and
+// bounded retransmission. done(ok) fires when the frame is acknowledged or
+// abandoned.
+func (n *Network) transmit(f Frame, done func(ok bool)) {
+	n.attemptTransmit(f, 0, done)
+}
+
+func (n *Network) attemptTransmit(f Frame, attempt int, done func(ok bool)) {
+	src, ok := n.devices[f.Src]
+	if !ok {
+		panic(fmt.Sprintf("zigbee: transmit from unknown device %04x", uint16(f.Src)))
+	}
+	dst, ok := n.devices[f.Dst]
+	if !ok {
+		panic(fmt.Sprintf("zigbee: transmit to unknown device %04x", uint16(f.Dst)))
+	}
+	wait := n.backoff()
+	air := n.airMs(f)
+	n.Sim.Schedule(wait, func() {
+		src.accountTx(air, n.cfg.TxPowerMw)
+		delivered := n.inRange(src, dst) && n.r.Float64() >= n.cfg.LossProb
+		n.Sim.Schedule(air, func() {
+			if delivered {
+				dst.accountRx(air, n.cfg.RxPowerMw)
+				// MAC ack (11 bytes on air) for unicast data-ish frames.
+				if f.Kind != FrameAck {
+					ackAir := 11 * 8 / n.cfg.BitrateKbps
+					dst.accountTx(ackAir, n.cfg.TxPowerMw)
+					src.accountRx(ackAir, n.cfg.RxPowerMw)
+				}
+				n.deliver(dst, f)
+				if done != nil {
+					done(true)
+				}
+				return
+			}
+			// Lost: retry after the ack timeout.
+			if attempt+1 <= n.cfg.MaxRetries {
+				n.Sim.Schedule(n.cfg.AckTimeoutMs, func() {
+					n.attemptTransmit(f, attempt+1, done)
+				})
+				return
+			}
+			if done != nil {
+				done(false)
+			}
+		})
+	})
+}
+
+// deliver hands a received frame to the APS/application layer.
+func (n *Network) deliver(dst *Device, f Frame) {
+	switch f.Kind {
+	case FrameData:
+		key := reasmKey{src: f.Src, id: f.MsgID}
+		st, ok := dst.reassembly[key]
+		if !ok {
+			st = &reasmState{total: f.FragTotal, firstAtMs: n.Sim.Now()}
+			dst.reassembly[key] = st
+		}
+		st.received++
+		st.bytes += f.PayloadLen
+		if st.received >= st.total {
+			delete(dst.reassembly, key)
+			if h, ok := n.handlers[f.Cluster]; ok {
+				h(dst, f.Src, st.bytes)
+			}
+		}
+	case FrameReport:
+		// Reports only make sense at the coordinator.
+		if dst.Role == RoleCoordinator {
+			// Payload decoding is out of scope; the report itself is
+			// attached by SendReport via closure.
+		}
+	}
+}
+
+// Handle registers the application handler for a cluster.
+func (n *Network) Handle(c Cluster, h func(dst *Device, src DeviceAddr, totalBytes int)) {
+	n.handlers[c] = h
+}
+
+// MessageOpts tunes one APS message transfer.
+type MessageOpts struct {
+	// FragSize is the per-fragment payload; <= 0 uses the config default.
+	FragSize int
+	// InterFragDelayMs is the sender-side pause between fragments. Honest
+	// devices use ~0; fragment-stall attackers use large values to prolong
+	// the interaction (§5.6).
+	InterFragDelayMs Ms
+}
+
+// SendMessage transfers totalBytes from src to dst on cluster c using APS
+// fragmentation. onComplete(ok, at) fires when the last fragment is
+// acknowledged (ok) or any fragment is abandoned (!ok).
+func (n *Network) SendMessage(src, dst DeviceAddr, c Cluster, totalBytes int, opts MessageOpts, onComplete func(ok bool)) {
+	fragSize := opts.FragSize
+	if fragSize <= 0 {
+		fragSize = n.cfg.FragSize
+	}
+	total := (totalBytes + fragSize - 1) / fragSize
+	if total < 1 {
+		total = 1
+	}
+	n.msgID++
+	id := n.msgID
+	srcDev := n.devices[src]
+
+	var sendFrag func(i int)
+	sendFrag = func(i int) {
+		size := fragSize
+		if i == total-1 {
+			size = totalBytes - fragSize*(total-1)
+			if size <= 0 {
+				size = minInt(totalBytes, fragSize)
+			}
+		}
+		f := Frame{
+			Kind: FrameData, Src: src, Dst: dst, Seq: srcDev.nextSeq(),
+			Cluster: c, PayloadLen: size, MsgID: id, FragIndex: i, FragTotal: total,
+		}
+		n.transmit(f, func(ok bool) {
+			if !ok {
+				if onComplete != nil {
+					onComplete(false)
+				}
+				return
+			}
+			if i+1 < total {
+				n.Sim.Schedule(opts.InterFragDelayMs, func() { sendFrag(i + 1) })
+				return
+			}
+			if onComplete != nil {
+				onComplete(true)
+			}
+		})
+	}
+	sendFrag(0)
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// FormPAN associates every unassociated device with the coordinator using
+// the beacon-request / beacon / association handshake, then runs the
+// simulator until the joins settle. It returns the number of devices that
+// joined.
+func (n *Network) FormPAN() int {
+	joined := 0
+	for _, addr := range n.order {
+		d := n.devices[addr]
+		if d.Role == RoleCoordinator || d.Associated {
+			continue
+		}
+		dev := d
+		// beacon-req (broadcast, modeled as a frame to the coordinator) →
+		// beacon → assoc-req → assoc-resp.
+		seqFrames := []Frame{
+			{Kind: FrameBeaconReq, Src: dev.Addr, Dst: CoordAddr, PayloadLen: 8},
+			{Kind: FrameBeacon, Src: CoordAddr, Dst: dev.Addr, PayloadLen: 26},
+			{Kind: FrameAssocReq, Src: dev.Addr, Dst: CoordAddr, PayloadLen: 16},
+			{Kind: FrameAssocResp, Src: CoordAddr, Dst: dev.Addr, PayloadLen: 27},
+		}
+		var step func(i int)
+		step = func(i int) {
+			if i >= len(seqFrames) {
+				dev.Associated = true
+				return
+			}
+			f := seqFrames[i]
+			f.Seq = n.devices[f.Src].nextSeq()
+			n.transmit(f, func(ok bool) {
+				if ok {
+					step(i + 1)
+				}
+				// A failed join leaves the device unassociated; the caller
+				// may re-run FormPAN (the hardware's "automatic
+				// reconnection").
+			})
+		}
+		step(0)
+	}
+	n.Sim.Run()
+	for _, d := range n.devices {
+		if d.Role != RoleCoordinator && d.Associated {
+			joined++
+		}
+	}
+	return joined
+}
+
+// ExchangeConfig parameterizes one task delegation over the air.
+type ExchangeConfig struct {
+	// Light is the ambient light / environment at the trustee.
+	Light env.Environment
+	// UseOptical routes the task through the trustee's optical sensor, so
+	// quality is gated by Light (the Fig. 16 setup).
+	UseOptical bool
+	// Act tunes the behavioral outcome model.
+	Act agent.ActConfig
+}
+
+// ExchangeResult is the outcome of a Delegate call.
+type ExchangeResult struct {
+	// Outcome is the trust-model outcome: success/gain/damage from the
+	// trustee's behavior, cost from the measured radio-active time.
+	Outcome core.Outcome
+	// Delivered is false when the request or response was abandoned by the
+	// MAC layer.
+	Delivered bool
+	// TrustorActiveMs is the trustor's radio-active time consumed by the
+	// exchange — the quantity Fig. 14 plots.
+	TrustorActiveMs Ms
+	// DurationMs is the wall-clock span of the exchange.
+	DurationMs Ms
+}
+
+// Delegate performs one over-the-air task delegation from trustor to
+// trustee and runs the simulator until the exchange completes. Dishonest
+// fragment-stall trustees reply in tiny fragments with long pauses,
+// inflating the trustor's active time; the measured active time becomes the
+// outcome's cost via CostPerActiveMs.
+func (n *Network) Delegate(trustor, trustee DeviceAddr, tk task.Task, xc ExchangeConfig) ExchangeResult {
+	tDev, ok := n.devices[trustor]
+	if !ok {
+		panic(fmt.Sprintf("zigbee: unknown trustor %04x", uint16(trustor)))
+	}
+	eDev, ok := n.devices[trustee]
+	if !ok {
+		panic(fmt.Sprintf("zigbee: unknown trustee %04x", uint16(trustee)))
+	}
+	if eDev.Agent == nil {
+		panic("zigbee: trustee has no agent")
+	}
+	activeBefore := tDev.ActiveMs
+	startMs := n.Sim.Now()
+	var res ExchangeResult
+
+	// Request (single message), then processing, then response.
+	n.SendMessage(trustor, trustee, ClusterTaskRequest, n.cfg.RequestBytes, MessageOpts{}, func(ok bool) {
+		if !ok {
+			return // res.Delivered stays false
+		}
+		n.Sim.Schedule(n.cfg.ProcessMs, func() {
+			effEnv := xc.Light
+			if xc.UseOptical && eDev.Sensor != nil {
+				effEnv = env.Environment(eDev.Sensor.Quality(xc.Light)).Clamp()
+			}
+			actRng := rng.Split(n.cfg.Seed, "act", int(trustor)<<16|int(trustee)+int(n.Sim.Processed))
+			out := eDev.Agent.Act(tk, effEnv, xc.Act, actRng)
+			opts := MessageOpts{}
+			if eDev.Agent.Behavior.Malice == agent.MaliceFragmentStall {
+				// Fragment packets: tiny payloads, long pauses.
+				opts.FragSize = 8
+				opts.InterFragDelayMs = 9
+			}
+			n.SendMessage(trustee, trustor, ClusterTaskResult, n.cfg.ResponseBytes, opts, func(ok bool) {
+				if !ok {
+					return
+				}
+				res.Delivered = true
+				res.Outcome = out
+			})
+		})
+	})
+	n.Sim.Run()
+
+	res.TrustorActiveMs = tDev.ActiveMs - activeBefore
+	res.DurationMs = n.Sim.Now() - startMs
+	if !res.Delivered {
+		res.Outcome = core.Outcome{Success: false, Damage: 0.5}
+	}
+	// The trustor's real cost is the radio time the exchange consumed.
+	res.Outcome.Cost = clamp01(res.TrustorActiveMs * n.cfg.CostPerActiveMs)
+	return res
+}
+
+// SendReport transmits an application report to the coordinator and stores
+// it in the coordinator's host-side buffer on delivery.
+func (n *Network) SendReport(from DeviceAddr, p ReportPayload) {
+	f := Frame{Kind: FrameReport, Src: from, Dst: CoordAddr,
+		Seq: n.devices[from].nextSeq(), Cluster: ClusterReport, PayloadLen: 32}
+	n.transmit(f, func(ok bool) {
+		if ok {
+			n.coord.Reports = append(n.coord.Reports, Report{
+				From: from, AtMs: n.Sim.Now(), Payload: p,
+			})
+		}
+	})
+	n.Sim.Run()
+}
+
+// CollectReports drains the coordinator's report buffer, sorted by arrival
+// time (the host computer pulling data through the CP2102 serial link).
+func (n *Network) CollectReports() []Report {
+	out := n.coord.Reports
+	n.coord.Reports = nil
+	sort.Slice(out, func(i, j int) bool { return out[i].AtMs < out[j].AtMs })
+	return out
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}

@@ -1,0 +1,311 @@
+package zigbee
+
+import (
+	"math"
+	"testing"
+
+	"siot/internal/agent"
+	"siot/internal/core"
+	"siot/internal/env"
+	"siot/internal/task"
+)
+
+func TestSimulatorOrdering(t *testing.T) {
+	s := NewSimulator()
+	var got []int
+	s.Schedule(5, func() { got = append(got, 2) })
+	s.Schedule(1, func() { got = append(got, 1) })
+	s.Schedule(5, func() { got = append(got, 3) }) // same time: FIFO by seq
+	s.Run()
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("order = %v", got)
+	}
+	if s.Now() != 5 {
+		t.Fatalf("now = %v", s.Now())
+	}
+}
+
+func TestSimulatorNestedScheduling(t *testing.T) {
+	s := NewSimulator()
+	var at Ms
+	s.Schedule(2, func() {
+		s.Schedule(3, func() { at = s.Now() })
+	})
+	s.Run()
+	if at != 5 {
+		t.Fatalf("nested event at %v, want 5", at)
+	}
+}
+
+func TestSimulatorRunUntil(t *testing.T) {
+	s := NewSimulator()
+	ran := 0
+	s.Schedule(1, func() { ran++ })
+	s.Schedule(10, func() { ran++ })
+	s.RunUntil(5)
+	if ran != 1 {
+		t.Fatalf("ran = %d, want 1", ran)
+	}
+	if s.Now() != 5 {
+		t.Fatalf("now = %v, want 5", s.Now())
+	}
+	if s.Pending() != 1 {
+		t.Fatalf("pending = %d", s.Pending())
+	}
+}
+
+func TestSimulatorNegativeDelay(t *testing.T) {
+	s := NewSimulator()
+	ran := false
+	s.Schedule(-5, func() { ran = true })
+	s.Run()
+	if !ran || s.Now() != 0 {
+		t.Fatal("negative delay mishandled")
+	}
+}
+
+func TestFrameAirBytesAndString(t *testing.T) {
+	f := Frame{Kind: FrameData, Src: 1, Dst: 2, PayloadLen: 64, FragTotal: 1}
+	if f.AirBytes() != 64+macHeaderBytes {
+		t.Fatalf("air bytes = %d", f.AirBytes())
+	}
+	if f.String() == "" || FrameKind(99).String() != "unknown" {
+		t.Fatal("frame strings wrong")
+	}
+}
+
+func TestOpticalSensorQuality(t *testing.T) {
+	s := &OpticalSensor{DarkFloor: 0.1}
+	if q := s.Quality(1); q != 1 {
+		t.Fatalf("full light quality = %v", q)
+	}
+	dark := s.Quality(0.05)
+	if dark < 0.1 || dark > 0.2 {
+		t.Fatalf("dark quality = %v", dark)
+	}
+	if s.Quality(1) <= s.Quality(0.3) {
+		t.Fatal("quality not increasing with light")
+	}
+}
+
+func newTestAgent(id core.AgentID, comp float64) *agent.Agent {
+	return agent.New(id, agent.KindTrustee, agent.Behavior{BaseCompetence: comp}, core.DefaultUpdateConfig())
+}
+
+func TestFormPANAssociatesAll(t *testing.T) {
+	n := NewNetwork(DefaultConfig(1))
+	for i := 0; i < 6; i++ {
+		n.AddDevice(RoleEndDevice, Position{X: float64(5 * i), Y: 3}, newTestAgent(core.AgentID(i+1), 0.8))
+	}
+	joined := 0
+	for attempt := 0; attempt < 8 && joined < 6; attempt++ {
+		joined = n.FormPAN()
+	}
+	if joined != 6 {
+		t.Fatalf("joined = %d, want 6", joined)
+	}
+	for _, d := range n.Devices()[1:] {
+		if !d.Associated {
+			t.Fatalf("device %04x not associated", uint16(d.Addr))
+		}
+		if d.ActiveMs <= 0 {
+			t.Fatal("association consumed no radio time")
+		}
+	}
+}
+
+func TestOutOfRangeDeviceCannotJoin(t *testing.T) {
+	cfg := DefaultConfig(2)
+	cfg.RangeM = 50
+	n := NewNetwork(cfg)
+	n.AddDevice(RoleEndDevice, Position{X: 500, Y: 500}, newTestAgent(1, 0.8))
+	if joined := n.FormPAN(); joined != 0 {
+		t.Fatalf("out-of-range device joined (%d)", joined)
+	}
+}
+
+func TestSendMessageFragmentation(t *testing.T) {
+	cfg := DefaultConfig(3)
+	cfg.LossProb = 0 // deterministic delivery
+	n := NewNetwork(cfg)
+	a := n.AddDevice(RoleRouter, Position{X: 1}, newTestAgent(1, 0.8))
+	b := n.AddDevice(RoleRouter, Position{X: 2}, newTestAgent(2, 0.8))
+	n.FormPAN()
+
+	gotBytes := -1
+	n.Handle(ClusterTaskResult, func(dst *Device, src DeviceAddr, total int) {
+		if dst.Addr != b.Addr || src != a.Addr {
+			t.Errorf("delivery to %04x from %04x", uint16(dst.Addr), uint16(src))
+		}
+		gotBytes = total
+	})
+	completed := false
+	n.SendMessage(a.Addr, b.Addr, ClusterTaskResult, 200, MessageOpts{FragSize: 64}, func(ok bool) {
+		completed = ok
+	})
+	n.Sim.Run()
+	if !completed {
+		t.Fatal("message not completed")
+	}
+	if gotBytes != 200 {
+		t.Fatalf("reassembled %d bytes, want 200", gotBytes)
+	}
+	// 200 bytes at frag 64 → 4 fragments (+ association traffic).
+	if a.TxFrames < 4 {
+		t.Fatalf("tx frames = %d, want >= 4", a.TxFrames)
+	}
+}
+
+func TestSmallFragmentsCostMoreAirtime(t *testing.T) {
+	run := func(fragSize int, delay Ms) Ms {
+		cfg := DefaultConfig(4)
+		cfg.LossProb = 0
+		n := NewNetwork(cfg)
+		a := n.AddDevice(RoleRouter, Position{X: 1}, newTestAgent(1, 0.8))
+		b := n.AddDevice(RoleRouter, Position{X: 2}, newTestAgent(2, 0.8))
+		n.FormPAN()
+		before := a.ActiveMs
+		n.SendMessage(a.Addr, b.Addr, ClusterTaskResult, 512, MessageOpts{FragSize: fragSize, InterFragDelayMs: delay}, nil)
+		n.Sim.Run()
+		return a.ActiveMs - before
+	}
+	honest := run(64, 0)
+	stall := run(8, 9)
+	if stall <= honest*1.5 {
+		t.Fatalf("stall airtime %v not clearly above honest %v", stall, honest)
+	}
+}
+
+func TestDelegateHonestExchange(t *testing.T) {
+	cfg := DefaultConfig(5)
+	cfg.LossProb = 0
+	n := NewNetwork(cfg)
+	tr := n.AddDevice(RoleEndDevice, Position{X: 1}, newTestAgent(1, 0.4))
+	te := n.AddDevice(RoleRouter, Position{X: 2}, newTestAgent(2, 0.95))
+	n.FormPAN()
+
+	tk := task.Uniform(1, task.CharGPS)
+	res := n.Delegate(tr.Addr, te.Addr, tk, ExchangeConfig{Light: 1, Act: agent.DefaultActConfig()})
+	if !res.Delivered {
+		t.Fatal("exchange not delivered")
+	}
+	if res.TrustorActiveMs <= 0 || res.DurationMs <= 0 {
+		t.Fatalf("timing: active=%v duration=%v", res.TrustorActiveMs, res.DurationMs)
+	}
+	if res.Outcome.Cost <= 0 || res.Outcome.Cost > 1 {
+		t.Fatalf("cost = %v", res.Outcome.Cost)
+	}
+}
+
+func TestDelegateStallerInflatesActiveTime(t *testing.T) {
+	cfg := DefaultConfig(6)
+	cfg.LossProb = 0
+	n := NewNetwork(cfg)
+	tr := n.AddDevice(RoleEndDevice, Position{X: 1}, newTestAgent(1, 0.4))
+	honest := n.AddDevice(RoleRouter, Position{X: 2}, newTestAgent(2, 0.9))
+	stallAgent := agent.New(3, agent.KindDishonestTrustee, agent.Behavior{
+		BaseCompetence: 0.9,
+		Malice:         agent.MaliceFragmentStall,
+	}, core.DefaultUpdateConfig())
+	staller := n.AddDevice(RoleRouter, Position{X: 3}, stallAgent)
+	n.FormPAN()
+
+	tk := task.Uniform(1, task.CharGPS)
+	xc := ExchangeConfig{Light: 1, Act: agent.DefaultActConfig()}
+	h := n.Delegate(tr.Addr, honest.Addr, tk, xc)
+	s := n.Delegate(tr.Addr, staller.Addr, tk, xc)
+	if s.TrustorActiveMs <= 1.5*h.TrustorActiveMs {
+		t.Fatalf("staller active %v not clearly above honest %v", s.TrustorActiveMs, h.TrustorActiveMs)
+	}
+	if s.Outcome.Cost <= h.Outcome.Cost {
+		t.Fatalf("staller cost %v not above honest %v", s.Outcome.Cost, h.Outcome.Cost)
+	}
+}
+
+func TestDelegateOpticalDarkDegrades(t *testing.T) {
+	count := func(light float64) int {
+		cfg := DefaultConfig(7)
+		cfg.LossProb = 0
+		n := NewNetwork(cfg)
+		tr := n.AddDevice(RoleEndDevice, Position{X: 1}, newTestAgent(1, 0.4))
+		te := n.AddDevice(RoleRouter, Position{X: 2}, newTestAgent(2, 0.95))
+		n.FormPAN()
+		tk := task.Uniform(1, task.CharImage)
+		succ := 0
+		for i := 0; i < 60; i++ {
+			res := n.Delegate(tr.Addr, te.Addr, tk, ExchangeConfig{
+				Light: env.Environment(light), UseOptical: true, Act: agent.DefaultActConfig(),
+			})
+			if res.Outcome.Success {
+				succ++
+			}
+		}
+		return succ
+	}
+	bright := count(1.0)
+	dark := count(0.05)
+	if dark >= bright {
+		t.Fatalf("dark successes %d not below bright %d", dark, bright)
+	}
+}
+
+func TestReportsCollected(t *testing.T) {
+	cfg := DefaultConfig(8)
+	cfg.LossProb = 0
+	n := NewNetwork(cfg)
+	d := n.AddDevice(RoleEndDevice, Position{X: 1}, newTestAgent(1, 0.5))
+	n.FormPAN()
+	n.SendReport(d.Addr, ReportPayload{TrusteeAddr: 7, Honest: true, Success: true})
+	got := n.CollectReports()
+	if len(got) != 1 || got[0].From != d.Addr || !got[0].Payload.Honest {
+		t.Fatalf("reports = %+v", got)
+	}
+	if len(n.CollectReports()) != 0 {
+		t.Fatal("reports not drained")
+	}
+}
+
+func TestBuildTestbedShape(t *testing.T) {
+	tb := BuildTestbed(DefaultTestbedConfig(9))
+	if len(tb.Trustors) != 10 || len(tb.Honest) != 10 || len(tb.Dishonest) != 10 {
+		t.Fatalf("testbed sizes: %d/%d/%d", len(tb.Trustors), len(tb.Honest), len(tb.Dishonest))
+	}
+	// 30 devices + coordinator.
+	if len(tb.Net.Devices()) != 31 {
+		t.Fatalf("devices = %d", len(tb.Net.Devices()))
+	}
+	for _, d := range tb.Net.Devices()[1:] {
+		if !d.Associated {
+			t.Fatalf("device %04x failed to join", uint16(d.Addr))
+		}
+	}
+	if !tb.IsHonest(tb.Honest[0].Addr) || tb.IsHonest(tb.Dishonest[0].Addr) {
+		t.Fatal("IsHonest misclassifies")
+	}
+	if len(tb.Trustees()) != 20 {
+		t.Fatalf("trustees = %d", len(tb.Trustees()))
+	}
+}
+
+func TestTestbedDeterministic(t *testing.T) {
+	a := BuildTestbed(DefaultTestbedConfig(11))
+	b := BuildTestbed(DefaultTestbedConfig(11))
+	if math.Abs(a.Honest[0].Agent.Behavior.BaseCompetence-b.Honest[0].Agent.Behavior.BaseCompetence) > 1e-15 {
+		t.Fatal("testbed not deterministic across identical seeds")
+	}
+}
+
+func TestEnergyAccounting(t *testing.T) {
+	cfg := DefaultConfig(12)
+	cfg.LossProb = 0
+	n := NewNetwork(cfg)
+	a := n.AddDevice(RoleRouter, Position{X: 1}, newTestAgent(1, 0.8))
+	b := n.AddDevice(RoleRouter, Position{X: 2}, newTestAgent(2, 0.8))
+	n.FormPAN()
+	beforeA, beforeB := a.EnergyMJ, b.EnergyMJ
+	n.SendMessage(a.Addr, b.Addr, ClusterTaskResult, 256, MessageOpts{}, nil)
+	n.Sim.Run()
+	if a.EnergyMJ <= beforeA || b.EnergyMJ <= beforeB {
+		t.Fatal("transfer consumed no energy")
+	}
+}

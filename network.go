@@ -1,0 +1,137 @@
+package siot
+
+import (
+	"io"
+
+	"siot/internal/experiments"
+	"siot/internal/graph"
+	"siot/internal/report"
+	"siot/internal/sim"
+	"siot/internal/socialgen"
+	"siot/internal/zigbee"
+)
+
+// ---- Social-network substrate (internal/graph, internal/socialgen) ----
+
+// Graph is a simple undirected social graph over dense integer node IDs.
+type Graph = graph.Graph
+
+// NodeID identifies a node within a Graph.
+type NodeID = graph.NodeID
+
+// NewGraph returns an empty graph with n nodes.
+func NewGraph(n int) *Graph { return graph.New(n) }
+
+// SocialProfile parameterizes the synthetic network generator for one of
+// the paper's three evaluation networks.
+type SocialProfile = socialgen.Profile
+
+// NetworkStats is one row of the paper's Table 1.
+type NetworkStats = socialgen.Stats
+
+// SocialNetwork is a generated or loaded social network with node metadata.
+type SocialNetwork = socialgen.Network
+
+// FacebookProfile returns the generation profile calibrated to the paper's
+// Facebook sub-network.
+func FacebookProfile() SocialProfile { return socialgen.Facebook() }
+
+// GooglePlusProfile returns the Google+ sub-network profile.
+func GooglePlusProfile() SocialProfile { return socialgen.GooglePlus() }
+
+// TwitterProfile returns the Twitter sub-network profile.
+func TwitterProfile() SocialProfile { return socialgen.Twitter() }
+
+// NetworkProfiles returns the three paper profiles in evaluation order.
+func NetworkProfiles() []SocialProfile { return socialgen.Profiles() }
+
+// GenerateNetwork builds a synthetic social network for the profile,
+// deterministically from seed.
+func GenerateNetwork(p SocialProfile, seed uint64) *SocialNetwork {
+	return socialgen.Generate(p, seed)
+}
+
+// LoadEdgeList reads a SNAP-format edge list.
+func LoadEdgeList(src io.Reader) (*Graph, error) { return socialgen.LoadEdgeList(src) }
+
+// ComputeNetworkStats measures the Table 1 connectivity characteristics of
+// a graph.
+func ComputeNetworkStats(g *Graph, seed uint64) NetworkStats {
+	return socialgen.ComputeStats(g, seed)
+}
+
+// ---- Population simulation (internal/sim) ----
+
+// Population is a social network whose nodes are live agents.
+type Population = sim.Population
+
+// PopulationConfig controls role assignment and behavior generation.
+type PopulationConfig = sim.PopulationConfig
+
+// MutualityCounters aggregates the Fig. 7 metrics.
+type MutualityCounters = sim.MutualityCounters
+
+// TransitivitySetup configures the §5.5 transitivity experiments.
+type TransitivitySetup = sim.TransitivitySetup
+
+// TransitivityStats aggregates a transitivity run.
+type TransitivityStats = sim.TransitivityStats
+
+// Strategy selects the trustee-choice rule of the Fig. 13 experiment.
+type Strategy = sim.Strategy
+
+// Trustee-choice strategies.
+const (
+	// StrategySuccessRate picks by expected success rate alone.
+	StrategySuccessRate = sim.StrategySuccessRate
+	// StrategyNetProfit picks by eq. 23's expected net profit.
+	StrategyNetProfit = sim.StrategyNetProfit
+)
+
+// DefaultPopulationConfig mirrors the paper's simulation setup (40%
+// trustors, 40% trustees).
+func DefaultPopulationConfig(seed uint64) PopulationConfig {
+	return sim.DefaultPopulationConfig(seed)
+}
+
+// NewPopulation assigns roles and behaviors over a social network.
+func NewPopulation(net *SocialNetwork, cfg PopulationConfig) *Population {
+	return sim.NewPopulation(net, cfg)
+}
+
+// ---- ZigBee testbed simulator (internal/zigbee) ----
+
+// Testbed is the simulated experimental IoT network of §5.2 (coordinator
+// plus five groups of trustors, honest trustees, and dishonest trustees).
+type Testbed = zigbee.Testbed
+
+// TestbedConfig describes the experimental network.
+type TestbedConfig = zigbee.TestbedConfig
+
+// DeviceAddr is a 16-bit ZigBee network short address.
+type DeviceAddr = zigbee.DeviceAddr
+
+// Device is one node of the experimental network.
+type Device = zigbee.Device
+
+// DefaultTestbedConfig mirrors the paper's setup.
+func DefaultTestbedConfig(seed uint64) TestbedConfig { return zigbee.DefaultTestbedConfig(seed) }
+
+// BuildTestbed creates and forms the experimental network.
+func BuildTestbed(cfg TestbedConfig) *Testbed { return zigbee.BuildTestbed(cfg) }
+
+// ---- Experiments (internal/experiments) ----
+
+// ExperimentResult is the common surface of a reproduced table or figure.
+type ExperimentResult = experiments.Result
+
+// ResultTable is the renderable table type experiment results produce.
+type ResultTable = report.Table
+
+// ExperimentNames lists the reproducible tables and figures.
+func ExperimentNames() []string { return experiments.Names() }
+
+// RunExperiment executes a named experiment at the paper's default scale.
+func RunExperiment(name string, seed uint64) (ExperimentResult, error) {
+	return experiments.Run(name, seed)
+}
