@@ -11,10 +11,54 @@ import (
 	"siot/internal/core"
 	"siot/internal/experiments"
 	"siot/internal/sim"
+	"siot/internal/socialgen"
 	"siot/internal/stats"
+	"siot/internal/task"
 )
 
 const benchSeed = 42
+
+// roundsPopulation builds the 1k-node network the parallel-engine
+// benchmarks run on, with experience records seeded for the transitivity
+// searches.
+func roundsPopulation(b *testing.B) (*sim.Population, sim.TransitivitySetup) {
+	b.Helper()
+	profile := socialgen.Profile{
+		Name: "bench1k", Nodes: 1000, Edges: 8000,
+		Communities: 12, IntraFrac: 0.7, FoF: 0.5, SizeSkew: 1.0,
+		Overlap: 0.2, ChainCommunities: 1, FeatureKinds: 6, FeaturesPerNode: 2,
+	}
+	net := socialgen.Generate(profile, benchSeed)
+	p := sim.NewPopulation(net, sim.DefaultPopulationConfig(benchSeed))
+	r := p.Rand("bench-rounds")
+	setup := sim.DefaultTransitivitySetup(5, r)
+	setup.MaxDepth = 3
+	sim.SeedExperience(p, setup, r)
+	return p, setup
+}
+
+// benchRounds plays one full delegation round per iteration — a mutuality
+// round plus a transitivity search sweep — at the given worker-pool width.
+func benchRounds(b *testing.B, workers int) {
+	p, setup := roundsPopulation(b)
+	eng := &sim.Engine{Pop: p, Parallelism: workers, Label: "bench"}
+	tk := task.Uniform(1, task.CharCompute)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var c sim.MutualityCounters
+		eng.MutualityRound(i, tk, &c)
+		eng.TransitivityRun(setup, core.PolicyAggressive, benchSeed)
+	}
+}
+
+// BenchmarkRoundsSerial is the single-goroutine baseline of the delegation
+// round engine on a 1k-node network.
+func BenchmarkRoundsSerial(b *testing.B) { benchRounds(b, 1) }
+
+// BenchmarkRoundsParallel runs the same rounds with a 4-worker pool. The
+// outputs are bit-identical to the serial baseline (see sim.Engine); on a
+// machine with >= 4 cores the wall-clock time should drop by >= 2x.
+func BenchmarkRoundsParallel(b *testing.B) { benchRounds(b, 4) }
 
 // BenchmarkTable1Connectivity regenerates Table 1: the connectivity
 // characteristics of the three evaluation networks.

@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	siot-bench [-seed N] [-exp table1,fig7,...|all] [-csv DIR] [-charts]
+//	siot-bench [-seed N] [-exp table1,fig7,...|all] [-csv DIR] [-charts] [-parallel P]
 //
 // Exit status is nonzero if any shape check fails.
 package main
@@ -27,6 +27,7 @@ func main() {
 	expFlag := flag.String("exp", "all", "comma-separated experiment ids, or 'all' (known: "+strings.Join(experiments.Names(), ", ")+")")
 	csvDir := flag.String("csv", "", "directory to write per-experiment CSV files")
 	charts := flag.Bool("charts", true, "render ASCII charts for figure experiments")
+	parallel := flag.Int("parallel", 0, "simulation worker-pool width (0 = GOMAXPROCS, 1 = serial); outputs are identical at any width")
 	flag.Parse()
 
 	var names []string
@@ -43,7 +44,7 @@ func main() {
 			continue
 		}
 		fmt.Printf("==> %s (seed %d)\n", name, *seed)
-		res, err := experiments.Run(name, *seed)
+		res, err := experiments.RunOpts(name, experiments.Options{Seed: *seed, Parallelism: *parallel})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "siot-bench:", err)
 			os.Exit(2)

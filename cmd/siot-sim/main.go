@@ -9,6 +9,9 @@
 //	siot-sim -net facebook -rounds 40 -theta 0.3
 //	siot-sim -net twitter -mode transitivity -policy aggressive -chars 5
 //	siot-sim -net gplus -mode netprofit -iters 1000 -strategy netprofit
+//
+// All modes run on the parallel simulation engine; -parallel sets the
+// worker-pool width (0 = GOMAXPROCS) and never changes the printed rates.
 package main
 
 import (
@@ -35,6 +38,7 @@ func main() {
 		chars    = flag.Int("chars", 5, "transitivity: number of characteristics in the network")
 		iters    = flag.Int("iters", 1000, "netprofit: iterations")
 		strategy = flag.String("strategy", "netprofit", "netprofit: successrate or netprofit")
+		parallel = flag.Int("parallel", 0, "worker-pool width (0 = GOMAXPROCS, 1 = serial); outputs are identical at any width")
 	)
 	flag.Parse()
 
@@ -49,12 +53,13 @@ func main() {
 	case "mutuality":
 		cfg := sim.DefaultPopulationConfig(*seed)
 		cfg.Theta = *theta
+		cfg.Parallelism = *parallel
 		p := sim.NewPopulation(net, cfg)
-		r := p.Rand("cli-mutuality")
+		eng := sim.NewEngine(p, "cli-mutuality")
 		tk := task.Uniform(1, task.CharCompute)
 		var c sim.MutualityCounters
 		for i := 0; i < *rounds; i++ {
-			sim.MutualityRound(p, tk, r, &c)
+			eng.MutualityRound(i, tk, &c)
 		}
 		fmt.Printf("rounds=%d theta=%.2f\n", *rounds, *theta)
 		fmt.Printf("success rate     %.3f\n", c.SuccessRate())
@@ -66,11 +71,13 @@ func main() {
 		if err != nil {
 			fail(err)
 		}
-		p := sim.NewPopulation(net, sim.DefaultPopulationConfig(*seed))
+		cfg := sim.DefaultPopulationConfig(*seed)
+		cfg.Parallelism = *parallel
+		p := sim.NewPopulation(net, cfg)
 		r := rng.New(*seed, "cli-transitivity")
 		setup := sim.DefaultTransitivitySetup(*chars, r)
 		sim.SeedExperience(p, setup, r)
-		st := sim.TransitivityRun(p, setup, pol, *seed)
+		st := sim.NewEngine(p, "cli-transitivity").TransitivityRun(setup, pol, *seed)
 		fmt.Printf("policy=%s chars=%d\n", pol, *chars)
 		fmt.Printf("success rate       %.3f\n", st.SuccessRate())
 		fmt.Printf("unavailable rate   %.3f\n", st.UnavailableRate())
@@ -91,8 +98,10 @@ func main() {
 		default:
 			fail(fmt.Errorf("unknown strategy %q", *strategy))
 		}
-		p := sim.NewPopulation(net, sim.DefaultPopulationConfig(*seed))
-		series := sim.NetProfitRun(p, *iters, strat, *seed)
+		cfg := sim.DefaultPopulationConfig(*seed)
+		cfg.Parallelism = *parallel
+		p := sim.NewPopulation(net, cfg)
+		series := sim.NewEngine(p, "cli-netprofit").NetProfitRun(*iters, strat, *seed)
 		fmt.Printf("strategy=%s iters=%d\n", strat, *iters)
 		fmt.Printf("initial profit (first 10%%)  %.3f\n", stats.Mean(series[:len(series)/10+1]))
 		fmt.Printf("converged profit (last 33%%) %.3f\n", stats.Mean(series[len(series)*2/3:]))

@@ -1,0 +1,3 @@
+module siot
+
+go 1.24

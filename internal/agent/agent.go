@@ -195,6 +195,16 @@ func DefaultActConfig() ActConfig {
 // Fragment-stall malice inflates cost; opportunists fail sporadically on
 // purpose.
 func (a *Agent) Act(t task.Task, e env.Environment, cfg ActConfig, r *rand.Rand) core.Outcome {
+	out := a.ActOutcome(t, e, cfg, r)
+	a.DrainEnergy(out.Cost)
+	return out
+}
+
+// ActOutcome computes the outcome of executing t without mutating the agent
+// — the read-only half of Act. The parallel simulation engine calls it from
+// worker goroutines and applies the energy drain later, during the
+// deterministic single-threaded merge.
+func (a *Agent) ActOutcome(t task.Task, e env.Environment, cfg ActConfig, r *rand.Rand) core.Outcome {
 	comp := a.Behavior.TaskCompetence(t)
 	pSuccess := comp * float64(e.Clamp())
 	if a.Behavior.Malice == MaliceOpportunist && r.Float64() < 0.25 {
@@ -211,11 +221,15 @@ func (a *Agent) Act(t task.Task, e env.Environment, cfg ActConfig, r *rand.Rand)
 	} else {
 		out.Damage = clamp01((1 - comp) * (0.5 + 0.5*r.Float64()))
 	}
-	a.Energy -= out.Cost * 0.01
+	return out
+}
+
+// DrainEnergy applies the battery cost of one interaction, clamping at 0.
+func (a *Agent) DrainEnergy(cost float64) {
+	a.Energy -= cost * 0.01
 	if a.Energy < 0 {
 		a.Energy = 0
 	}
-	return out
 }
 
 // SelfExpectation returns the expectation a trustor holds about executing a

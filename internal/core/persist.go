@@ -68,24 +68,10 @@ func (s *Store) Save(w io.Writer) error {
 			})
 		}
 	}
-	for id, l := range s.usage {
-		snap.Usage = append(snap.Usage, usageSnapshot{
-			Trustor: id, Responsible: l.Responsible, Abusive: l.Abusive,
-		})
-	}
-	// Usage iteration order is map order; sort for stable output.
-	sortUsage(snap.Usage)
+	snap.Usage = append(snap.Usage, s.usageSorted()...)
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(snap)
-}
-
-func sortUsage(u []usageSnapshot) {
-	for i := 1; i < len(u); i++ {
-		for j := i; j > 0 && u[j].Trustor < u[j-1].Trustor; j-- {
-			u[j], u[j-1] = u[j-1], u[j]
-		}
-	}
 }
 
 // LoadStore restores a store from a Save snapshot, attaching the given
@@ -115,16 +101,11 @@ func LoadStore(r io.Reader, cfg UpdateConfig) (*Store, error) {
 		if err != nil {
 			return nil, fmt.Errorf("core: snapshot record for trustee %d: %w", rs.Trustee, err)
 		}
-		m, ok := s.records[rs.Trustee]
-		if !ok {
-			m = make(map[task.Type]*Record)
-			s.records[rs.Trustee] = m
-		}
-		m[tk.Type()] = &Record{
+		s.setRecord(rs.Trustee, Record{
 			Task:  tk,
 			Exp:   Expectation{S: rs.S, G: rs.G, D: rs.D, C: rs.C},
 			Count: rs.Count,
-		}
+		})
 	}
 	for _, us := range snap.Usage {
 		if us.Responsible < 0 || us.Abusive < 0 {

@@ -1,7 +1,8 @@
 package core
 
 import (
-	"sort"
+	"slices"
+	"sync"
 
 	"siot/internal/task"
 )
@@ -19,16 +20,34 @@ type Record struct {
 // TW returns the record's trustworthiness under eq. 18.
 func (r Record) TW(n Normalizer) float64 { return r.Exp.Trustworthiness(n) }
 
+// storeShards stripes the record map across independently locked shards so
+// concurrent readers of different trustees (the parallel transitivity search
+// fanning out over a hub agent's store) do not contend on one lock.
+const storeShards = 8
+
+// storeShard is one lock stripe: the experience records about the trustees
+// whose IDs hash into it. Records per trustee are kept sorted by task type,
+// so reads hand out ordered data without sorting or allocating.
+type storeShard struct {
+	mu      sync.RWMutex
+	records map[AgentID][]Record
+}
+
 // Store holds the trust state one agent (as trustor) keeps about its
 // trustees: per-(trustee, task type) experience records, plus the usage
 // statistics it keeps about agents that delegated to it (for the reverse
-// evaluation of eq. 1). Store is not safe for concurrent use; the
-// simulation layers keep one per agent and drive them sequentially.
+// evaluation of eq. 1).
+//
+// Store is safe for concurrent use: records are striped over sharded
+// RWMutexes keyed by trustee ID, and usage logs carry their own lock. The
+// parallel simulation engine relies on this — many trustor goroutines read
+// hub agents' stores simultaneously during a delegation round.
 type Store struct {
 	owner   AgentID
-	records map[AgentID]map[task.Type]*Record
-	usage   map[AgentID]*UsageLog
 	cfg     UpdateConfig
+	shards  [storeShards]storeShard
+	usageMu sync.RWMutex
+	usage   map[AgentID]*UsageLog
 }
 
 // NewStore creates an empty store for the given agent using cfg for all
@@ -37,12 +56,27 @@ func NewStore(owner AgentID, cfg UpdateConfig) *Store {
 	if cfg.Norm == nil {
 		cfg.Norm = UnitNormalizer()
 	}
-	return &Store{
-		owner:   owner,
-		records: make(map[AgentID]map[task.Type]*Record),
-		usage:   make(map[AgentID]*UsageLog),
-		cfg:     cfg,
+	s := &Store{
+		owner: owner,
+		cfg:   cfg,
+		usage: make(map[AgentID]*UsageLog),
 	}
+	for i := range s.shards {
+		s.shards[i].records = make(map[AgentID][]Record)
+	}
+	return s
+}
+
+// shard returns the lock stripe responsible for a trustee.
+func (s *Store) shard(trustee AgentID) *storeShard {
+	return &s.shards[uint32(trustee)%storeShards]
+}
+
+// searchRecord locates the record for typ in a sorted-by-type record slice.
+func searchRecord(recs []Record, typ task.Type) (int, bool) {
+	return slices.BinarySearchFunc(recs, typ, func(r Record, t task.Type) int {
+		return int(r.Task.Type()) - int(t)
+	})
 }
 
 // Owner returns the agent this store belongs to.
@@ -53,10 +87,12 @@ func (s *Store) Config() UpdateConfig { return s.cfg }
 
 // Record returns the experience record for (trustee, task type), if any.
 func (s *Store) Record(trustee AgentID, typ task.Type) (Record, bool) {
-	if m, ok := s.records[trustee]; ok {
-		if r, ok := m[typ]; ok {
-			return *r, true
-		}
+	sh := s.shard(trustee)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	recs := sh.records[trustee]
+	if i, ok := searchRecord(recs, typ); ok {
+		return recs[i], true
 	}
 	return Record{}, false
 }
@@ -64,42 +100,66 @@ func (s *Store) Record(trustee AgentID, typ task.Type) (Record, bool) {
 // Records returns all experience records the store holds about trustee,
 // ordered by task type.
 func (s *Store) Records(trustee AgentID) []Record {
-	m := s.records[trustee]
-	if len(m) == 0 {
-		return nil
+	return s.AppendRecords(trustee, nil)
+}
+
+// AppendRecords appends the experience records about trustee (ordered by
+// task type) to buf and returns the extended slice. Reusing buf across calls
+// keeps the hot read path of the transitivity search allocation-free.
+func (s *Store) AppendRecords(trustee AgentID, buf []Record) []Record {
+	sh := s.shard(trustee)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	recs := sh.records[trustee]
+	if len(recs) == 0 {
+		return buf
 	}
-	out := make([]Record, 0, len(m))
-	for _, r := range m {
-		out = append(out, *r)
+	return append(buf, recs...)
+}
+
+// NumRecords returns the number of (trustee, task type) records held.
+func (s *Store) NumRecords() int {
+	n := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for _, recs := range sh.records {
+			n += len(recs)
+		}
+		sh.mu.RUnlock()
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Task.Type() < out[j].Task.Type() })
-	return out
+	return n
 }
 
 // Trustees returns the sorted IDs of all agents the store has experience
 // with.
 func (s *Store) Trustees() []AgentID {
-	out := make([]AgentID, 0, len(s.records))
-	for id := range s.records {
-		out = append(out, id)
+	var out []AgentID
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for id := range sh.records {
+			out = append(out, id)
+		}
+		sh.mu.RUnlock()
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
 	return out
 }
 
 // Observe folds the outcome of delegating t to trustee into the store
 // (post-evaluation, eqs. 19–22 / 25–28) and returns the updated record.
 func (s *Store) Observe(trustee AgentID, t task.Task, o Outcome, ectx EnvContext) Record {
-	m, ok := s.records[trustee]
+	sh := s.shard(trustee)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	recs := sh.records[trustee]
+	i, ok := searchRecord(recs, t.Type())
 	if !ok {
-		m = make(map[task.Type]*Record)
-		s.records[trustee] = m
+		recs = slices.Insert(recs, i, Record{Task: t, Exp: s.cfg.Init})
+		sh.records[trustee] = recs
 	}
-	r, ok := m[t.Type()]
-	if !ok {
-		r = &Record{Task: t, Exp: s.cfg.Init}
-		m[t.Type()] = r
-	}
+	r := &recs[i]
 	r.Exp = Update(r.Exp, o, ectx, s.cfg)
 	r.Count++
 	return *r
@@ -109,12 +169,20 @@ func (s *Store) Observe(trustee AgentID, t task.Task, o Outcome, ectx EnvContext
 // delegation — used to initialize trust from social-relationship metrics or
 // experiment setup, as §4.4 suggests.
 func (s *Store) Seed(trustee AgentID, t task.Task, exp Expectation) {
-	m, ok := s.records[trustee]
-	if !ok {
-		m = make(map[task.Type]*Record)
-		s.records[trustee] = m
+	s.setRecord(trustee, Record{Task: t, Exp: exp})
+}
+
+// setRecord installs or replaces the record for the task type of r.Task.
+func (s *Store) setRecord(trustee AgentID, r Record) {
+	sh := s.shard(trustee)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	recs := sh.records[trustee]
+	if i, ok := searchRecord(recs, r.Task.Type()); ok {
+		recs[i] = r
+	} else {
+		sh.records[trustee] = slices.Insert(recs, i, r)
 	}
-	m[t.Type()] = &Record{Task: t, Exp: exp}
 }
 
 // DirectTW returns the trustworthiness of trustee on the exact task type,
@@ -141,16 +209,19 @@ func (s *Store) DirectTW(trustee AgentID, typ task.Type) (float64, bool) {
 // A direct record for t's exact type, when present, participates like any
 // other experienced task.
 func (s *Store) InferTW(trustee AgentID, t task.Task) (tw float64, ok bool) {
-	recs := s.records[trustee]
+	sh := s.shard(trustee)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	recs := sh.records[trustee]
 	if len(recs) == 0 {
 		return 0, false
 	}
 	total := 0.0
 	for _, c := range t.Characteristics() {
 		num, den := 0.0, 0.0
-		for _, r := range recs {
-			if w := r.Task.Weight(c); w > 0 {
-				num += w * r.TW(s.cfg.Norm)
+		for i := range recs {
+			if w := recs[i].Task.Weight(c); w > 0 {
+				num += w * recs[i].TW(s.cfg.Norm)
 				den += w
 			}
 		}
@@ -192,14 +263,30 @@ func (l UsageLog) TW() float64 {
 
 // Usage returns the usage log the store keeps about a trustor.
 func (s *Store) Usage(trustor AgentID) UsageLog {
+	s.usageMu.RLock()
+	defer s.usageMu.RUnlock()
 	if l, ok := s.usage[trustor]; ok {
 		return *l
 	}
 	return UsageLog{}
 }
 
+// usageSorted returns all usage logs ordered by trustor ID (for snapshots).
+func (s *Store) usageSorted() []usageSnapshot {
+	s.usageMu.RLock()
+	defer s.usageMu.RUnlock()
+	out := make([]usageSnapshot, 0, len(s.usage))
+	for id, l := range s.usage {
+		out = append(out, usageSnapshot{Trustor: id, Responsible: l.Responsible, Abusive: l.Abusive})
+	}
+	slices.SortFunc(out, func(a, b usageSnapshot) int { return int(a.Trustor) - int(b.Trustor) })
+	return out
+}
+
 // ObserveUsage records one use of this agent's resources by trustor.
 func (s *Store) ObserveUsage(trustor AgentID, abusive bool) {
+	s.usageMu.Lock()
+	defer s.usageMu.Unlock()
 	l, ok := s.usage[trustor]
 	if !ok {
 		l = &UsageLog{}

@@ -1,7 +1,8 @@
 package core
 
 import (
-	"sort"
+	"slices"
+	"sync"
 
 	"siot/internal/task"
 )
@@ -121,6 +122,11 @@ type Searcher struct {
 	Neighbors func(AgentID) []AgentID
 	// Records returns the experience records holder keeps about a neighbor.
 	Records func(holder, about AgentID) []Record
+	// RecordsAppend, when non-nil, replaces Records on the hot path: it
+	// appends holder's records about a neighbor to buf and returns the
+	// extended slice. Wiring it to Store.AppendRecords lets the BFS reuse one
+	// pooled buffer instead of allocating a fresh slice per hop.
+	RecordsAppend func(holder, about AgentID, buf []Record) []Record
 	// Norm is the normalizer for record trustworthiness.
 	Norm Normalizer
 	// MaxDepth bounds the recommendation-chain length (number of hops).
@@ -161,24 +167,78 @@ func (r SearchResult) Best() (Candidate, bool) {
 	return r.Candidates[0], true
 }
 
+// searchState holds the scratch buffers of one Find call: the visited set,
+// the per-depth frontiers, the candidate map, and a record buffer. States
+// are pooled and reused across calls, so the BFS over neighbors stops
+// allocating once the pool is warm.
+type searchState struct {
+	inquired map[AgentID]bool
+	best     map[AgentID]float64
+	frontier map[AgentID]float64
+	next     map[AgentID]float64
+	order    []AgentID
+	recbuf   []Record
+	perChar  []map[AgentID]float64
+}
+
+var searchPool = sync.Pool{New: func() any {
+	return &searchState{
+		inquired: make(map[AgentID]bool),
+		best:     make(map[AgentID]float64),
+		frontier: make(map[AgentID]float64),
+		next:     make(map[AgentID]float64),
+	}
+}}
+
+// acquireState returns a cleared search state from the pool.
+func acquireState() *searchState {
+	st := searchPool.Get().(*searchState)
+	clear(st.inquired)
+	clear(st.best)
+	clear(st.frontier)
+	clear(st.next)
+	for _, m := range st.perChar {
+		clear(m)
+	}
+	return st
+}
+
 // Find discovers potential trustees for the trustor's task under the given
 // policy. Each social hop (u → v) is admissible only if u's experience
 // records about v satisfy the policy for the task; admissible hops below
 // ω1 stop relaying and hops below ω2 do not mint candidates. Path values
 // propagate best-first per depth (exact for hop values ≥ 0.5, where eq. 7
 // is monotone; a safe approximation below).
+//
+// Find is safe for concurrent use from multiple goroutines provided the
+// Neighbors, Records/RecordsAppend, and CandidateFilter callbacks are; each
+// call draws its own scratch state from a shared pool.
 func (s *Searcher) Find(trustor AgentID, t task.Task, p Policy) SearchResult {
+	st := acquireState()
+	var res SearchResult
 	switch p {
 	case PolicyAggressive:
-		return s.findAggressive(trustor, t)
+		res = s.findAggressive(trustor, t, st)
 	default:
-		return s.findSerial(trustor, t, p)
+		res = s.findSerial(trustor, t, p, st)
 	}
+	searchPool.Put(st)
+	return res
+}
+
+// records fetches holder's experience about a neighbor, through the
+// allocation-free path when available. The returned slice is valid only
+// until the next call on the same state.
+func (s *Searcher) records(holder, about AgentID, st *searchState) []Record {
+	if s.RecordsAppend != nil {
+		st.recbuf = s.RecordsAppend(holder, about, st.recbuf[:0])
+		return st.recbuf
+	}
+	return s.Records(holder, about)
 }
 
 // hopTW evaluates one hop under traditional or conservative rules.
-func (s *Searcher) hopTW(holder, about AgentID, t task.Task, p Policy) (float64, bool) {
-	recs := s.Records(holder, about)
+func (s *Searcher) hopTW(recs []Record, t task.Task, p Policy) (float64, bool) {
 	if len(recs) == 0 {
 		return 0, false
 	}
@@ -196,31 +256,30 @@ func (s *Searcher) hopTW(holder, about AgentID, t task.Task, p Policy) (float64,
 }
 
 // findSerial runs the single-path policies (traditional, conservative).
-func (s *Searcher) findSerial(trustor AgentID, t task.Task, p Policy) SearchResult {
+func (s *Searcher) findSerial(trustor AgentID, t task.Task, p Policy, st *searchState) SearchResult {
 	combine := CombinePair
 	if p == PolicyTraditional {
 		combine = func(a, b float64) float64 { return a * b }
 	}
-	inquired := make(map[AgentID]bool)
-	best := make(map[AgentID]float64) // best candidate value per node
-	frontier := map[AgentID]float64{trustor: 1}
+	frontier, next := st.frontier, st.next
+	frontier[trustor] = 1
 	for depth := 1; depth <= s.MaxDepth && len(frontier) > 0; depth++ {
-		next := make(map[AgentID]float64)
-		for _, u := range sortedIDs(frontier) {
+		st.order = appendSortedIDs(st.order[:0], frontier)
+		for _, u := range st.order {
 			uval := frontier[u]
 			for _, v := range s.Neighbors(u) {
 				if v == trustor {
 					continue
 				}
-				hop, ok := s.hopTW(u, v, t, p)
+				hop, ok := s.hopTW(s.records(u, v, st), t, p)
 				if !ok {
 					continue
 				}
-				inquired[v] = true
+				st.inquired[v] = true
 				val := combine(uval, hop)
 				if s.passTrustee(p, hop) && s.isCandidate(v) {
-					if cur, seen := best[v]; !seen || val > cur {
-						best[v] = val
+					if cur, seen := st.best[v]; !seen || val > cur {
+						st.best[v] = val
 					}
 				}
 				if depth < s.MaxDepth && s.passRecommender(p, hop) {
@@ -230,35 +289,40 @@ func (s *Searcher) findSerial(trustor AgentID, t task.Task, p Policy) SearchResu
 				}
 			}
 		}
-		frontier = next
+		frontier, next = next, frontier
+		clear(next)
 	}
-	return result(best, inquired)
+	return result(st.best, st.inquired)
 }
 
 // findAggressive runs one per-characteristic propagation (eqs. 12–17):
 // characteristic a_i may travel path B←C←E while a_j travels B←D←E, and a
 // node becomes a candidate only when every characteristic of the task
 // reaches it.
-func (s *Searcher) findAggressive(trustor AgentID, t task.Task) SearchResult {
+func (s *Searcher) findAggressive(trustor AgentID, t task.Task, st *searchState) SearchResult {
 	chars := t.Characteristics()
-	inquired := make(map[AgentID]bool)
-	perChar := make([]map[AgentID]float64, len(chars))
+	for len(st.perChar) < len(chars) {
+		st.perChar = append(st.perChar, make(map[AgentID]float64))
+	}
 	for ci, c := range chars {
-		best := make(map[AgentID]float64)
-		frontier := map[AgentID]float64{trustor: 1}
+		best := st.perChar[ci]
+		frontier, next := st.frontier, st.next
+		clear(frontier)
+		clear(next)
+		frontier[trustor] = 1
 		for depth := 1; depth <= s.MaxDepth && len(frontier) > 0; depth++ {
-			next := make(map[AgentID]float64)
-			for _, u := range sortedIDs(frontier) {
+			st.order = appendSortedIDs(st.order[:0], frontier)
+			for _, u := range st.order {
 				uval := frontier[u]
 				for _, v := range s.Neighbors(u) {
 					if v == trustor {
 						continue
 					}
-					hop, ok := CharTW(s.Records(u, v), c, s.Norm)
+					hop, ok := CharTW(s.records(u, v, st), c, s.Norm)
 					if !ok {
 						continue
 					}
-					inquired[v] = true
+					st.inquired[v] = true
 					val := CombinePair(uval, hop)
 					if s.isCandidate(v) {
 						if cur, seen := best[v]; !seen || val > cur {
@@ -272,19 +336,20 @@ func (s *Searcher) findAggressive(trustor AgentID, t task.Task) SearchResult {
 					}
 				}
 			}
-			frontier = next
+			frontier, next = next, frontier
+			clear(next)
 		}
-		perChar[ci] = best
 	}
 	// Combine per-characteristic estimates with the task weights (eq. 17),
 	// requiring full coverage (eq. 12). As in eq. 11, the ω2 threshold
 	// applies to the task-level trustworthiness, not to each characteristic
 	// in isolation.
-	totals := make(map[AgentID]float64)
-	for v := range perChar[0] {
+	totals := st.best
+	clear(totals)
+	for v := range st.perChar[0] {
 		tw, ok := 0.0, true
 		for ci, c := range chars {
-			val, seen := perChar[ci][v]
+			val, seen := st.perChar[ci][v]
 			if !seen {
 				ok = false
 				break
@@ -295,7 +360,7 @@ func (s *Searcher) findAggressive(trustor AgentID, t task.Task) SearchResult {
 			totals[v] = tw
 		}
 	}
-	return result(totals, inquired)
+	return result(totals, st.inquired)
 }
 
 // passRecommender applies ω1 per policy; the traditional baseline transfers
@@ -315,12 +380,13 @@ func (s *Searcher) passTrustee(p Policy, hop float64) bool {
 	return hop >= s.Omega2
 }
 
-func sortedIDs(m map[AgentID]float64) []AgentID {
-	ids := make([]AgentID, 0, len(m))
+// appendSortedIDs appends the map's keys to ids in ascending order, reusing
+// the slice's capacity.
+func appendSortedIDs(ids []AgentID, m map[AgentID]float64) []AgentID {
 	for id := range m {
 		ids = append(ids, id)
 	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	slices.Sort(ids)
 	return ids
 }
 

@@ -17,6 +17,9 @@ type Fig13Config struct {
 	// Smooth applies a trailing moving average to the plotted series (the
 	// paper's curves are visibly smoothed); <= 1 disables.
 	Smooth int
+	// Parallelism is the engine worker-pool width (0 = GOMAXPROCS,
+	// 1 = serial). Results are bit-identical across all values.
+	Parallelism int
 }
 
 // DefaultFig13Config mirrors the paper.
@@ -35,14 +38,17 @@ type Fig13Result struct {
 	Converged map[string]float64
 }
 
-// RunFig13 runs both strategies over the three networks.
+// RunFig13 runs both strategies over the three networks on the parallel
+// engine; cfg.Parallelism only changes wall-clock time, never the curves.
 func RunFig13(cfg Fig13Config) Fig13Result {
 	res := Fig13Result{Converged: map[string]float64{}}
 	for _, profile := range Networks() {
 		net := socialgen.Generate(profile, cfg.Seed)
 		for _, strategy := range []sim.Strategy{sim.StrategyNetProfit, sim.StrategySuccessRate} {
-			p := sim.NewPopulation(net, sim.DefaultPopulationConfig(cfg.Seed))
-			series := sim.NetProfitRun(p, cfg.Iterations, strategy, cfg.Seed)
+			pcfg := sim.DefaultPopulationConfig(cfg.Seed)
+			pcfg.Parallelism = cfg.Parallelism
+			p := sim.NewPopulation(net, pcfg)
+			series := sim.NewEngine(p, "fig13").NetProfitRun(cfg.Iterations, strategy, cfg.Seed)
 			name := fmt.Sprintf("%s (%s)", profile.Name, strategy)
 			tail := series[len(series)*2/3:]
 			res.Converged[name] = stats.Mean(tail)

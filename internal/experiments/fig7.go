@@ -18,6 +18,9 @@ type Fig7Config struct {
 	// Rounds is the number of delegation rounds per (network, θ) cell;
 	// rates are measured over all rounds.
 	Rounds int
+	// Parallelism is the engine worker-pool width (0 = GOMAXPROCS,
+	// 1 = serial). Results are bit-identical across all values.
+	Parallelism int
 }
 
 // DefaultFig7Config returns the paper's sweep.
@@ -42,6 +45,8 @@ type Fig7Result struct {
 }
 
 // RunFig7 sweeps the reverse-evaluation threshold over the three networks.
+// The delegation rounds run on the parallel engine, so cfg.Parallelism only
+// changes wall-clock time, never the cells.
 func RunFig7(cfg Fig7Config) Fig7Result {
 	var res Fig7Result
 	tk := task.Uniform(1, task.CharCompute)
@@ -50,11 +55,12 @@ func RunFig7(cfg Fig7Config) Fig7Result {
 		for _, theta := range cfg.Thetas {
 			pcfg := sim.DefaultPopulationConfig(cfg.Seed)
 			pcfg.Theta = theta
+			pcfg.Parallelism = cfg.Parallelism
 			p := sim.NewPopulation(net, pcfg)
-			r := p.Rand(fmt.Sprintf("fig7-theta-%v", theta))
+			eng := sim.NewEngine(p, fmt.Sprintf("fig7-theta-%v", theta))
 			var c sim.MutualityCounters
 			for round := 0; round < cfg.Rounds; round++ {
-				sim.MutualityRound(p, tk, r, &c)
+				eng.MutualityRound(round, tk, &c)
 			}
 			res.Cells = append(res.Cells, Fig7Cell{
 				Network:     profile.Name,

@@ -86,28 +86,57 @@ func (r Fig16Result) Charts() []report.Chart {
 // Fig7Result renders its rate triples as one chart per metric-free view;
 // bars do not translate to line charts, so it offers the table only.
 
+// Options tunes an experiment run beyond its default configuration.
+type Options struct {
+	// Seed drives every random choice of the run.
+	Seed uint64
+	// Parallelism is the simulation engine's worker-pool width for the
+	// experiments that run delegation rounds or transitivity searches
+	// (0 = GOMAXPROCS, 1 = serial). Experiment outputs are bit-identical
+	// across all values; only wall-clock time changes.
+	Parallelism int
+}
+
 // runners maps experiment IDs to their default-configuration runners.
-var runners = map[string]func(seed uint64) Result{
-	"table1": func(seed uint64) Result { return RunTable1(seed) },
-	"fig7":   func(seed uint64) Result { return RunFig7(DefaultFig7Config(seed)) },
-	"fig8":   func(seed uint64) Result { return RunFig8(DefaultFig8Config(seed)) },
-	"figs9-11": func(seed uint64) Result {
-		return RunTransitivitySweep(DefaultTransitivityConfig(seed))
+var runners = map[string]func(o Options) Result{
+	"table1": func(o Options) Result { return RunTable1(o.Seed) },
+	"fig7": func(o Options) Result {
+		cfg := DefaultFig7Config(o.Seed)
+		cfg.Parallelism = o.Parallelism
+		return RunFig7(cfg)
 	},
-	"fig12":  func(seed uint64) Result { return RunFig12(DefaultFig12Config(seed)) },
-	"table2": func(seed uint64) Result { return RunTable2(DefaultTable2Config(seed)) },
-	"fig13":  func(seed uint64) Result { return RunFig13(DefaultFig13Config(seed)) },
-	"fig14":  func(seed uint64) Result { return RunFig14(DefaultFig14Config(seed)) },
-	"fig15":  func(seed uint64) Result { return RunFig15(DefaultFig15Config(seed)) },
-	"fig16":  func(seed uint64) Result { return RunFig16(DefaultFig16Config(seed)) },
-	"ablation-eq7": func(seed uint64) Result {
-		return RunAblationEq7(DefaultAblationEq7Config(seed))
+	"fig8": func(o Options) Result { return RunFig8(DefaultFig8Config(o.Seed)) },
+	"figs9-11": func(o Options) Result {
+		cfg := DefaultTransitivityConfig(o.Seed)
+		cfg.Parallelism = o.Parallelism
+		return RunTransitivitySweep(cfg)
 	},
-	"ablation-cannikin": func(seed uint64) Result {
-		return RunAblationCannikin(DefaultAblationCannikinConfig(seed))
+	"fig12": func(o Options) Result {
+		cfg := DefaultFig12Config(o.Seed)
+		cfg.Parallelism = o.Parallelism
+		return RunFig12(cfg)
 	},
-	"ablation-self": func(seed uint64) Result {
-		return RunAblationSelfDelegation(DefaultAblationSelfDelegationConfig(seed))
+	"table2": func(o Options) Result {
+		cfg := DefaultTable2Config(o.Seed)
+		cfg.Parallelism = o.Parallelism
+		return RunTable2(cfg)
+	},
+	"fig13": func(o Options) Result {
+		cfg := DefaultFig13Config(o.Seed)
+		cfg.Parallelism = o.Parallelism
+		return RunFig13(cfg)
+	},
+	"fig14": func(o Options) Result { return RunFig14(DefaultFig14Config(o.Seed)) },
+	"fig15": func(o Options) Result { return RunFig15(DefaultFig15Config(o.Seed)) },
+	"fig16": func(o Options) Result { return RunFig16(DefaultFig16Config(o.Seed)) },
+	"ablation-eq7": func(o Options) Result {
+		return RunAblationEq7(DefaultAblationEq7Config(o.Seed))
+	},
+	"ablation-cannikin": func(o Options) Result {
+		return RunAblationCannikin(DefaultAblationCannikinConfig(o.Seed))
+	},
+	"ablation-self": func(o Options) Result {
+		return RunAblationSelfDelegation(DefaultAblationSelfDelegationConfig(o.Seed))
 	},
 }
 
@@ -124,9 +153,15 @@ func Names() []string {
 // Run executes the named experiment with its paper-scale default
 // configuration.
 func Run(name string, seed uint64) (Result, error) {
+	return RunOpts(name, Options{Seed: seed})
+}
+
+// RunOpts executes the named experiment with its paper-scale default
+// configuration under the given options.
+func RunOpts(name string, o Options) (Result, error) {
 	r, ok := runners[name]
 	if !ok {
 		return nil, fmt.Errorf("experiments: unknown experiment %q (known: %v)", name, Names())
 	}
-	return r(seed), nil
+	return r(o), nil
 }

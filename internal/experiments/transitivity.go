@@ -25,6 +25,10 @@ type TransitivityConfig struct {
 	Repeats int
 	// MaxDepth bounds recommendation chains.
 	MaxDepth int
+	// Parallelism is the engine worker-pool width for the per-trustor
+	// searches (0 = GOMAXPROCS, 1 = serial); results are bit-identical
+	// across all values.
+	Parallelism int
 }
 
 // DefaultTransitivityConfig returns the paper's sweep.
@@ -61,13 +65,16 @@ func RunTransitivitySweep(cfg TransitivityConfig) TransitivityResult {
 			}
 			for rep := 0; rep < cfg.Repeats; rep++ {
 				repSeed := rng.Mix(cfg.Seed, "transitivity", profile.Name, fmt.Sprint(numChars), fmt.Sprint(rep))
-				p := sim.NewPopulation(net, sim.DefaultPopulationConfig(repSeed))
+				pcfg := sim.DefaultPopulationConfig(repSeed)
+				pcfg.Parallelism = cfg.Parallelism
+				p := sim.NewPopulation(net, pcfg)
 				r := rng.New(repSeed, "setup")
 				setup := sim.DefaultTransitivitySetup(numChars, r)
 				setup.MaxDepth = cfg.MaxDepth
 				sim.SeedExperience(p, setup, r)
+				eng := sim.NewEngine(p, "figs9-11")
 				for _, pol := range policies {
-					st := sim.TransitivityRun(p, setup, pol, repSeed)
+					st := eng.TransitivityRun(setup, pol, repSeed)
 					merge(agg[pol], st)
 				}
 			}
@@ -209,6 +216,8 @@ type Fig12Config struct {
 	NumChars int
 	// MaxDepth bounds recommendation chains.
 	MaxDepth int
+	// Parallelism is the engine worker-pool width (0 = GOMAXPROCS).
+	Parallelism int
 }
 
 // DefaultFig12Config mirrors the paper (Facebook subnetwork).
@@ -231,15 +240,18 @@ func RunFig12(cfg Fig12Config) Fig12Result {
 		panic(err)
 	}
 	net := socialgen.Generate(profile, cfg.Seed)
-	p := sim.NewPopulation(net, sim.DefaultPopulationConfig(cfg.Seed))
+	pcfg := sim.DefaultPopulationConfig(cfg.Seed)
+	pcfg.Parallelism = cfg.Parallelism
+	p := sim.NewPopulation(net, pcfg)
 	r := rng.New(cfg.Seed, "fig12-setup")
 	setup := sim.DefaultTransitivitySetup(cfg.NumChars, r)
 	setup.MaxDepth = cfg.MaxDepth
 	sim.SeedExperience(p, setup, r)
 
+	eng := sim.NewEngine(p, "fig12")
 	res := Fig12Result{PerPolicy: map[core.Policy][]int{}}
 	for _, pol := range policies {
-		st := sim.TransitivityRun(p, setup, pol, cfg.Seed)
+		st := eng.TransitivityRun(setup, pol, cfg.Seed)
 		counts := append([]int(nil), st.InquiredPerTrustor...)
 		sort.Ints(counts)
 		res.PerPolicy[pol] = counts
@@ -308,6 +320,8 @@ type Table2Config struct {
 	// Repeats averages each network over fresh seedings.
 	Repeats  int
 	MaxDepth int
+	// Parallelism is the engine worker-pool width (0 = GOMAXPROCS).
+	Parallelism int
 }
 
 // DefaultTable2Config mirrors the paper.
@@ -343,13 +357,16 @@ func RunTable2(cfg Table2Config) Table2Result {
 		}
 		for rep := 0; rep < cfg.Repeats; rep++ {
 			repSeed := rng.Mix(cfg.Seed, "table2", profile.Name, fmt.Sprint(rep))
-			p := sim.NewPopulation(net, sim.DefaultPopulationConfig(repSeed))
+			pcfg := sim.DefaultPopulationConfig(repSeed)
+			pcfg.Parallelism = cfg.Parallelism
+			p := sim.NewPopulation(net, pcfg)
 			r := rng.New(repSeed, "setup")
 			setup := sim.DefaultTransitivitySetup(profile.FeatureKinds, r)
 			setup.MaxDepth = cfg.MaxDepth
 			sim.SeedExperienceFromFeatures(p, setup, r)
+			eng := sim.NewEngine(p, "table2")
 			for _, pol := range policies {
-				st := sim.TransitivityRun(p, setup, pol, repSeed)
+				st := eng.TransitivityRun(setup, pol, repSeed)
 				merge(agg[pol], st)
 			}
 		}

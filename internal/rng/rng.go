@@ -58,3 +58,14 @@ func Split(seed uint64, label string, index int) *rand.Rand {
 	hi := splitmix64(&state)
 	return rand.New(rand.NewPCG(lo, hi))
 }
+
+// Split2 derives a child generator from a parent seed with two indices — the
+// (round, agent) sub-streams of the parallel simulation engine. Each
+// (label, i, j) triple yields an independent stream, so work sharded across
+// goroutines draws identical randomness regardless of execution order.
+func Split2(seed uint64, label string, i, j int) *rand.Rand {
+	state := Mix(seed, label) ^ (uint64(i)+1)*0x9e3779b97f4a7c15 ^ (uint64(j)+1)*0xbf58476d1ce4e5b9
+	lo := splitmix64(&state)
+	hi := splitmix64(&state)
+	return rand.New(rand.NewPCG(lo, hi))
+}

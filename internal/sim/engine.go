@@ -1,0 +1,298 @@
+package sim
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"siot/internal/agent"
+	"siot/internal/core"
+	"siot/internal/env"
+	"siot/internal/rng"
+	"siot/internal/task"
+)
+
+// Engine is the parallel delegation-round runner: it shards the trustors of
+// a population across a worker pool and plays rounds with deterministic
+// results.
+//
+// # Determinism contract
+//
+// Every engine round runs in two phases. The compute phase fans the
+// trustors out over Parallelism goroutines; each trustor draws its
+// randomness from a private sub-stream derived from the population seed,
+// the engine label, the round index, and its own agent ID (rng.Split2), and
+// only reads shared state. The merge phase then applies every trustor's
+// buffered effects (store updates, usage logs, counters, energy drains)
+// single-threaded in ascending trustor-ID order. Because no draw and no
+// write depends on goroutine scheduling, the results are bit-identical for
+// every Parallelism value, including 1 — P=1 and P=8 with the same seed
+// produce the same bytes.
+//
+// The price is round semantics: within one round every trustor decides
+// against the state left by the previous round (simultaneous requests),
+// rather than observing the effects of trustors processed earlier in the
+// same round as the legacy serial helpers (MutualityRound) do.
+type Engine struct {
+	Pop *Population
+	// Parallelism is the worker-pool width. 0 falls back to the population
+	// config's Parallelism, then to GOMAXPROCS; 1 runs serially.
+	Parallelism int
+	// Label separates the engine's random streams from other phases run on
+	// the same population (e.g. one label per figure).
+	Label string
+
+	initOnce    sync.Once
+	trusteeNbrs [][]core.AgentID // trustee-kind neighbors per trustor position
+}
+
+// NewEngine returns an engine over the population using its configured
+// parallelism.
+func NewEngine(p *Population, label string) *Engine {
+	return &Engine{Pop: p, Label: label}
+}
+
+// workers resolves the effective worker-pool width.
+func (e *Engine) workers() int {
+	if e.Parallelism > 0 {
+		return e.Parallelism
+	}
+	if e.Pop.cfg.Parallelism > 0 {
+		return e.Pop.cfg.Parallelism
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// init precomputes the per-trustor trustee-neighbor lists so rounds do not
+// re-derive them every time.
+func (e *Engine) init() {
+	e.initOnce.Do(func() {
+		e.trusteeNbrs = make([][]core.AgentID, len(e.Pop.Trustors))
+		for i, x := range e.Pop.Trustors {
+			e.trusteeNbrs[i] = e.Pop.TrusteeNeighbors(x)
+		}
+	})
+}
+
+// mapTrustors computes fn for every trustor on a pool of workers and
+// returns the results indexed by trustor position. fn must not mutate
+// shared state; it may read it freely.
+func mapTrustors[T any](ids []core.AgentID, workers int, fn func(i int, x core.AgentID) T) []T {
+	out := make([]T, len(ids))
+	if workers > len(ids) {
+		workers = len(ids)
+	}
+	if workers <= 1 {
+		for i, x := range ids {
+			out[i] = fn(i, x)
+		}
+		return out
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(ids) {
+					return
+				}
+				out[i] = fn(i, ids[i])
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// mutualityAction is one trustor's buffered decision of a mutuality round.
+type mutualityAction struct {
+	requested bool
+	accepted  bool
+	trustee   core.AgentID
+	out       core.Outcome
+	abusive   bool
+}
+
+// MutualityRound plays one parallel round of the Fig. 7 experiment: every
+// trustor simultaneously requests task tk from its best-trusted trustee
+// neighbor, candidates reverse-evaluate the trustor against θ (eq. 1) on
+// the state of the previous round, and all effects merge in ascending
+// trustor-ID order. round indexes the random sub-streams and must advance
+// every call.
+func (e *Engine) MutualityRound(round int, tk task.Task, c *MutualityCounters) {
+	e.init()
+	p := e.Pop
+	label := "engine-mutuality:" + e.Label + ":" + p.Net.Profile.Name
+	actCfg := agent.DefaultActConfig()
+	acts := mapTrustors(p.Trustors, e.workers(), func(i int, x core.AgentID) mutualityAction {
+		nbrs := e.trusteeNbrs[i]
+		if len(nbrs) == 0 {
+			return mutualityAction{} // socially isolated from trustees: not a request
+		}
+		r := rng.Split2(p.cfg.Seed, label, round, int(x))
+		trustor := p.Agent(x)
+		cands := make([]core.Candidate, 0, len(nbrs))
+		for _, y := range nbrs {
+			tw, ok := trustor.Store.BestTW(y, tk)
+			if !ok {
+				tw = 0.5 // neutral prior before any experience
+			}
+			cands = append(cands, core.Candidate{ID: y, TW: tw})
+		}
+		chosen, ok := core.SelectMutual(cands, func(y core.AgentID) bool {
+			return p.Agent(y).AcceptsDelegation(x)
+		})
+		if !ok {
+			return mutualityAction{requested: true}
+		}
+		act := mutualityAction{requested: true, accepted: true, trustee: chosen.ID}
+		act.out = p.Agent(chosen.ID).ActOutcome(tk, env.Perfect, actCfg, r)
+		act.abusive = trustor.Behavior.UsesAbusively(r)
+		return act
+	})
+	for i, x := range p.Trustors {
+		a := acts[i]
+		if !a.requested {
+			continue
+		}
+		c.Requests++
+		if !a.accepted {
+			c.Unavailable++
+			continue
+		}
+		if a.out.Success {
+			c.Successes++
+		}
+		trustee := p.Agent(a.trustee)
+		p.Agent(x).Store.Observe(a.trustee, tk, a.out, core.PerfectEnv())
+		trustee.DrainEnergy(a.out.Cost)
+		// The trustor now uses the granted resource; the trustee logs how.
+		trustee.Store.ObserveUsage(x, a.abusive)
+		c.Uses++
+		if a.abusive {
+			c.Abuses++
+		}
+	}
+}
+
+// netProfitAction is one trustor's buffered decision of a net-profit
+// iteration.
+type netProfitAction struct {
+	active  bool
+	trustee core.AgentID
+	out     core.Outcome
+	profit  float64
+}
+
+// NetProfitRun is the engine counterpart of the package-level NetProfitRun:
+// iterations of continuous task delegations under the given strategy, with
+// each iteration's trustors sharded over the worker pool. Trustee ground
+// truths are drawn once, serially, exactly as in the legacy path; the
+// per-delegation success draws come from per-(iteration, trustor)
+// sub-streams. Returns the average realized net profit per iteration.
+func (e *Engine) NetProfitRun(iterations int, strategy Strategy, seed uint64) []float64 {
+	e.init()
+	p := e.Pop
+	truths := drawTruths(p, rng.New(seed, "engine-netprofit", p.Net.Profile.Name, strategy.String()))
+	label := "engine-netprofit:" + e.Label + ":" + p.Net.Profile.Name + ":" + strategy.String()
+	tk := task.Uniform(0, task.CharCompute) // one generic task type
+	series := make([]float64, iterations)
+	workers := e.workers()
+
+	for it := 0; it < iterations; it++ {
+		acts := mapTrustors(p.Trustors, workers, func(i int, x core.AgentID) netProfitAction {
+			nbrs := e.trusteeNbrs[i]
+			if len(nbrs) == 0 {
+				return netProfitAction{}
+			}
+			trustor := p.Agent(x)
+			cands := make([]core.ExpCandidate, 0, len(nbrs))
+			for _, y := range nbrs {
+				rec, ok := trustor.Store.Record(y, tk.Type())
+				exp := trustor.Store.Config().Init
+				if ok {
+					exp = rec.Exp
+				}
+				cands = append(cands, core.ExpCandidate{ID: y, Exp: exp})
+			}
+			var chosen core.ExpCandidate
+			var ok bool
+			if strategy == StrategySuccessRate {
+				chosen, ok = core.BestBySuccessRate(cands)
+			} else {
+				chosen, ok = core.BestByNetProfit(cands)
+			}
+			if !ok {
+				return netProfitAction{}
+			}
+			r := rng.Split2(seed, label, it, int(x))
+			truth := truths[chosen.ID]
+			success := r.Float64() < truth.S
+			return netProfitAction{
+				active: true, trustee: chosen.ID,
+				out: truth.outcome(success), profit: truth.realizedProfit(success),
+			}
+		})
+		var sum float64
+		active := 0
+		for i, x := range p.Trustors {
+			a := acts[i]
+			if !a.active {
+				continue
+			}
+			sum += a.profit
+			active++
+			p.Agent(x).Store.Observe(a.trustee, tk, a.out, core.PerfectEnv())
+		}
+		if active > 0 {
+			series[it] = sum / float64(active)
+		}
+	}
+	return series
+}
+
+// TransitivityRun is the engine counterpart of the package-level
+// TransitivityRun, sharding the per-trustor transitivity searches — the
+// dominant cost of the §5.5 experiments — over the worker pool. Unlike the
+// mutuality and net-profit rounds, the search phase is pure, so this path
+// is bit-identical to the legacy serial implementation for every
+// Parallelism value.
+func (e *Engine) TransitivityRun(setup TransitivitySetup, policy core.Policy, seed uint64) TransitivityStats {
+	return transitivityRun(e.Pop, setup, policy, seed, e.workers())
+}
+
+// transitivityRun pre-draws the per-trustor task sequence from the shared
+// stream (matching the legacy serial order), fans the searches out over the
+// pool, and merges counters and outcome draws in ascending trustor order.
+func transitivityRun(p *Population, setup TransitivitySetup, policy core.Policy, seed uint64, workers int) TransitivityStats {
+	s := p.Searcher(setup.MaxDepth, setup.Omega1, setup.Omega2)
+	taskRng := rng.New(seed, "transitivity-tasks", p.Net.Profile.Name)
+	tasks := make([]task.Task, len(p.Trustors))
+	for i := range tasks {
+		tasks[i] = setup.Universe.Random(taskRng)
+	}
+	results := mapTrustors(p.Trustors, workers, func(i int, x core.AgentID) core.SearchResult {
+		return s.Find(x, tasks[i], policy)
+	})
+	outcomeRng := rng.New(seed, "transitivity-outcomes", p.Net.Profile.Name, policy.String())
+	var st TransitivityStats
+	for i := range p.Trustors {
+		res := results[i]
+		st.Requests++
+		st.PotentialTrustees += len(res.Candidates)
+		st.InquiredPerTrustor = append(st.InquiredPerTrustor, res.Inquired)
+		best, ok := res.Best()
+		if !ok {
+			st.Unavailable++
+			continue
+		}
+		capability := p.Agent(best.ID).Behavior.TaskCompetence(tasks[i])
+		if outcomeRng.Float64() < capability {
+			st.Successes++
+		}
+	}
+	return st
+}

@@ -1,0 +1,189 @@
+package sim
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"runtime"
+	"testing"
+	"time"
+
+	"siot/internal/core"
+	"siot/internal/socialgen"
+	"siot/internal/task"
+)
+
+// populationDigest hashes every agent's full trust state (records, usage
+// logs, energy), so two populations compare bit-for-bit.
+func populationDigest(p *Population) string {
+	h := sha256.New()
+	for _, a := range p.Agents {
+		fmt.Fprintf(h, "agent %d energy %v\n", a.ID, a.Energy)
+		for _, y := range a.Store.Trustees() {
+			for _, r := range a.Store.Records(y) {
+				fmt.Fprintf(h, "rec %d %d %v %v %v %v %d\n",
+					y, r.Task.Type(), r.Exp.S, r.Exp.G, r.Exp.D, r.Exp.C, r.Count)
+			}
+		}
+		for _, x := range p.Trustors {
+			if l := a.Store.Usage(x); l != (core.UsageLog{}) {
+				fmt.Fprintf(h, "use %d %d %d\n", x, l.Responsible, l.Abusive)
+			}
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// runMutuality plays rounds on a fresh population at the given parallelism
+// and returns the counters plus the end-state digest.
+func runMutuality(t *testing.T, parallelism int) (MutualityCounters, string) {
+	t.Helper()
+	net := smallNet(t)
+	cfg := DefaultPopulationConfig(11)
+	cfg.Theta = 0.3
+	cfg.Parallelism = parallelism
+	p := NewPopulation(net, cfg)
+	eng := NewEngine(p, "determinism")
+	tk := task.Uniform(1, task.CharGPS)
+	var c MutualityCounters
+	for round := 0; round < 25; round++ {
+		eng.MutualityRound(round, tk, &c)
+	}
+	return c, populationDigest(p)
+}
+
+func TestEngineMutualityDeterministicAcrossParallelism(t *testing.T) {
+	c1, d1 := runMutuality(t, 1)
+	c8, d8 := runMutuality(t, 8)
+	if c1 != c8 {
+		t.Fatalf("counters differ between P=1 and P=8:\nP=1: %+v\nP=8: %+v", c1, c8)
+	}
+	if d1 != d8 {
+		t.Fatal("population end state differs between P=1 and P=8")
+	}
+	if c1.Requests == 0 || c1.Uses == 0 {
+		t.Fatalf("engine round did no work: %+v", c1)
+	}
+}
+
+func TestEngineMutualityThetaReducesAbuse(t *testing.T) {
+	// The engine must preserve the Fig. 7 dynamics: raising θ lowers the
+	// abuse rate and raises the unavailable rate.
+	net := smallNet(t)
+	run := func(theta float64) MutualityCounters {
+		cfg := DefaultPopulationConfig(4)
+		cfg.Theta = theta
+		cfg.Parallelism = 4
+		p := NewPopulation(net, cfg)
+		eng := NewEngine(p, "theta")
+		tk := task.Uniform(1, task.CharGPS)
+		var c MutualityCounters
+		for round := 0; round < 40; round++ {
+			eng.MutualityRound(round, tk, &c)
+		}
+		return c
+	}
+	open := run(0)
+	strict := run(0.6)
+	if open.Unavailable != 0 {
+		t.Fatalf("theta=0 produced unavailability: %+v", open)
+	}
+	if strict.AbuseRate() >= open.AbuseRate() {
+		t.Fatalf("abuse did not drop: open=%v strict=%v", open.AbuseRate(), strict.AbuseRate())
+	}
+	if strict.UnavailableRate() <= open.UnavailableRate() {
+		t.Fatalf("unavailability did not rise: open=%v strict=%v",
+			open.UnavailableRate(), strict.UnavailableRate())
+	}
+}
+
+func TestEngineNetProfitDeterministicAcrossParallelism(t *testing.T) {
+	net := smallNet(t)
+	run := func(parallelism int) []float64 {
+		cfg := DefaultPopulationConfig(13)
+		cfg.Parallelism = parallelism
+		p := NewPopulation(net, cfg)
+		return NewEngine(p, "determinism").NetProfitRun(120, StrategyNetProfit, 13)
+	}
+	s1, s8 := run(1), run(8)
+	for i := range s1 {
+		if s1[i] != s8[i] {
+			t.Fatalf("iteration %d differs: P=1 %v, P=8 %v", i, s1[i], s8[i])
+		}
+	}
+}
+
+// statsEqual compares two transitivity results exactly.
+func statsEqual(a, b TransitivityStats) bool {
+	if a.Requests != b.Requests || a.Successes != b.Successes ||
+		a.Unavailable != b.Unavailable || a.PotentialTrustees != b.PotentialTrustees ||
+		len(a.InquiredPerTrustor) != len(b.InquiredPerTrustor) {
+		return false
+	}
+	for i := range a.InquiredPerTrustor {
+		if a.InquiredPerTrustor[i] != b.InquiredPerTrustor[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestEngineTransitivityMatchesSerialPath(t *testing.T) {
+	// The engine's search fan-out must be bit-identical to the legacy
+	// serial TransitivityRun for every policy and parallelism.
+	net := smallNet(t)
+	p := NewPopulation(net, DefaultPopulationConfig(6))
+	r := p.Rand("transit")
+	setup := DefaultTransitivitySetup(5, r)
+	SeedExperience(p, setup, r)
+	for _, pol := range []core.Policy{core.PolicyTraditional, core.PolicyConservative, core.PolicyAggressive} {
+		serial := TransitivityRun(p, setup, pol, 6)
+		for _, workers := range []int{1, 4, 8} {
+			eng := &Engine{Pop: p, Parallelism: workers}
+			got := eng.TransitivityRun(setup, pol, 6)
+			if !statsEqual(serial, got) {
+				t.Fatalf("%v at P=%d diverged from the serial path:\nserial: %+v\nP=%d:  %+v",
+					pol, workers, serial, workers, got)
+			}
+		}
+	}
+}
+
+// benchProfile returns a 1k-node network profile for speedup measurements.
+func benchProfile() socialgen.Profile {
+	return socialgen.Profile{
+		Name: "bench1k", Nodes: 1000, Edges: 8000,
+		Communities: 12, IntraFrac: 0.7, FoF: 0.5, SizeSkew: 1.0,
+		Overlap: 0.2, ChainCommunities: 1, FeatureKinds: 6, FeaturesPerNode: 2,
+	}
+}
+
+func TestEngineParallelSpeedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("speedup measurement skipped in -short mode")
+	}
+	if runtime.NumCPU() < 4 {
+		t.Skipf("speedup needs >= 4 CPUs, have %d", runtime.NumCPU())
+	}
+	net := socialgen.Generate(benchProfile(), 1)
+	p := NewPopulation(net, DefaultPopulationConfig(1))
+	r := p.Rand("speedup")
+	setup := DefaultTransitivitySetup(5, r)
+	setup.MaxDepth = 3
+	SeedExperience(p, setup, r)
+	measure := func(workers int) time.Duration {
+		eng := &Engine{Pop: p, Parallelism: workers}
+		eng.TransitivityRun(setup, core.PolicyAggressive, 1) // warm the pools
+		start := time.Now()
+		eng.TransitivityRun(setup, core.PolicyAggressive, 1)
+		return time.Since(start)
+	}
+	serial := measure(1)
+	parallel := measure(4)
+	t.Logf("serial %v, parallel(4) %v, speedup %.2fx", serial, parallel, float64(serial)/float64(parallel))
+	// The benchmarks document the ≥2x target; the test bound is looser to
+	// stay robust on loaded CI machines.
+	if float64(parallel) > 0.75*float64(serial) {
+		t.Fatalf("parallel run not faster: serial %v, parallel %v", serial, parallel)
+	}
+}

@@ -31,6 +31,10 @@ type PopulationConfig struct {
 	Theta float64
 	// Update configures every agent's trust store.
 	Update core.UpdateConfig
+	// Parallelism is the default worker-pool width of Engine rounds run
+	// over this population: 0 uses GOMAXPROCS, 1 runs serially. Results are
+	// bit-identical across all values (see Engine).
+	Parallelism int
 }
 
 // DefaultPopulationConfig mirrors the paper's simulation setup.
@@ -152,6 +156,9 @@ func (p *Population) Searcher(maxDepth int, omega1, omega2 float64) *core.Search
 		Neighbors: p.Neighbors,
 		Records: func(holder, about core.AgentID) []core.Record {
 			return p.Agents[holder].Store.Records(about)
+		},
+		RecordsAppend: func(holder, about core.AgentID, buf []core.Record) []core.Record {
+			return p.Agents[holder].Store.AppendRecords(about, buf)
 		},
 		Norm:     p.cfg.Update.Norm,
 		MaxDepth: maxDepth,

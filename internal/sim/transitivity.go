@@ -4,7 +4,6 @@ import (
 	"math/rand/v2"
 
 	"siot/internal/core"
-	"siot/internal/rng"
 	"siot/internal/task"
 )
 
@@ -226,28 +225,12 @@ func (s TransitivityStats) AvgPotentialTrustees() float64 {
 // The per-trustor task sequence is derived from seed independently of the
 // policy, so runs with the same seed compare the three methods on the same
 // workload, as the paper's figures do.
+//
+// TransitivityRun is the serial entry point; it shares its implementation
+// with Engine.TransitivityRun, whose worker pool produces bit-identical
+// results at any parallelism.
 func TransitivityRun(p *Population, setup TransitivitySetup, policy core.Policy, seed uint64) TransitivityStats {
-	s := p.Searcher(setup.MaxDepth, setup.Omega1, setup.Omega2)
-	taskRng := rng.New(seed, "transitivity-tasks", p.Net.Profile.Name)
-	outcomeRng := rng.New(seed, "transitivity-outcomes", p.Net.Profile.Name, policy.String())
-	var st TransitivityStats
-	for _, x := range p.Trustors {
-		tk := setup.Universe.Random(taskRng)
-		st.Requests++
-		res := s.Find(x, tk, policy)
-		st.PotentialTrustees += len(res.Candidates)
-		st.InquiredPerTrustor = append(st.InquiredPerTrustor, res.Inquired)
-		best, ok := res.Best()
-		if !ok {
-			st.Unavailable++
-			continue
-		}
-		capability := p.Agent(best.ID).Behavior.TaskCompetence(tk)
-		if outcomeRng.Float64() < capability {
-			st.Successes++
-		}
-	}
-	return st
+	return transitivityRun(p, setup, policy, seed, 1)
 }
 
 func clamp01(v float64) float64 {

@@ -88,6 +88,13 @@ const (
 	StrategyNetProfit = sim.StrategyNetProfit
 )
 
+// Engine is the parallel delegation-round runner: it shards trustors over a
+// worker pool with per-trustor random sub-streams and merges effects in
+// ascending trustor-ID order, so results are bit-identical at every
+// parallelism level (P=1 and P=8 with the same seed produce the same
+// bytes).
+type Engine = sim.Engine
+
 // DefaultPopulationConfig mirrors the paper's simulation setup (40%
 // trustors, 40% trustees).
 func DefaultPopulationConfig(seed uint64) PopulationConfig {
@@ -98,6 +105,11 @@ func DefaultPopulationConfig(seed uint64) PopulationConfig {
 func NewPopulation(net *SocialNetwork, cfg PopulationConfig) *Population {
 	return sim.NewPopulation(net, cfg)
 }
+
+// NewEngine returns a parallel round runner over the population. The label
+// separates its random streams from other phases run on the same
+// population.
+func NewEngine(p *Population, label string) *Engine { return sim.NewEngine(p, label) }
 
 // ---- ZigBee testbed simulator (internal/zigbee) ----
 
@@ -128,10 +140,21 @@ type ExperimentResult = experiments.Result
 // ResultTable is the renderable table type experiment results produce.
 type ResultTable = report.Table
 
+// ExperimentOptions tunes a registry experiment run (seed, engine
+// parallelism).
+type ExperimentOptions = experiments.Options
+
 // ExperimentNames lists the reproducible tables and figures.
 func ExperimentNames() []string { return experiments.Names() }
 
 // RunExperiment executes a named experiment at the paper's default scale.
 func RunExperiment(name string, seed uint64) (ExperimentResult, error) {
 	return experiments.Run(name, seed)
+}
+
+// RunExperimentOpts executes a named experiment at the paper's default
+// scale under the given options. Parallelism never changes the result, only
+// the wall-clock time.
+func RunExperimentOpts(name string, o ExperimentOptions) (ExperimentResult, error) {
+	return experiments.RunOpts(name, o)
 }
