@@ -9,9 +9,17 @@
 //	siot-sim -net facebook -rounds 40 -theta 0.3
 //	siot-sim -net twitter -mode transitivity -policy aggressive -chars 5
 //	siot-sim -net gplus -mode netprofit -iters 1000 -strategy netprofit
+//	siot-sim -rounds 100 -attack onoff -attackers 25
+//	siot-sim -experiment attack-collusion -attack badmouth -collude
 //
 // All modes run on the parallel simulation engine; -parallel sets the
 // worker-pool width (0 = GOMAXPROCS) and never changes the printed rates.
+//
+// -experiment runs a registered table/figure experiment end to end and
+// prints its summary table and ASCII charts; the -attack, -attackers, and
+// -collude knobs then override the attack-* experiments' adversary model.
+// In the default mutuality mode the same knobs inject the attack directly
+// into the ad-hoc delegation rounds.
 package main
 
 import (
@@ -19,7 +27,9 @@ import (
 	"fmt"
 	"os"
 
+	"siot/internal/adversary"
 	"siot/internal/core"
+	"siot/internal/experiments"
 	"siot/internal/rng"
 	"siot/internal/sim"
 	"siot/internal/socialgen"
@@ -29,18 +39,66 @@ import (
 
 func main() {
 	var (
-		netName  = flag.String("net", "facebook", "network profile: facebook, gplus, twitter")
-		seed     = flag.Uint64("seed", 1, "simulation seed")
-		mode     = flag.String("mode", "mutuality", "simulation mode: mutuality, transitivity, netprofit")
-		rounds   = flag.Int("rounds", 40, "mutuality: delegation rounds")
-		theta    = flag.Float64("theta", 0.3, "mutuality: reverse-evaluation threshold")
-		policy   = flag.String("policy", "aggressive", "transitivity: traditional, conservative, aggressive")
-		chars    = flag.Int("chars", 5, "transitivity: number of characteristics in the network")
-		iters    = flag.Int("iters", 1000, "netprofit: iterations")
-		strategy = flag.String("strategy", "netprofit", "netprofit: successrate or netprofit")
-		parallel = flag.Int("parallel", 0, "worker-pool width (0 = GOMAXPROCS, 1 = serial); outputs are identical at any width")
+		netName    = flag.String("net", "facebook", "network profile: facebook, gplus, twitter")
+		seed       = flag.Uint64("seed", 1, "simulation seed")
+		mode       = flag.String("mode", "mutuality", "simulation mode: mutuality, transitivity, netprofit")
+		experiment = flag.String("experiment", "", "run a registered experiment instead of a mode (see -list)")
+		list       = flag.Bool("list", false, "list registered experiments and attack models, then exit")
+		rounds     = flag.Int("rounds", 40, "mutuality: delegation rounds")
+		theta      = flag.Float64("theta", 0.3, "mutuality: reverse-evaluation threshold")
+		policy     = flag.String("policy", "aggressive", "transitivity: traditional, conservative, aggressive")
+		chars      = flag.Int("chars", 5, "transitivity: number of characteristics in the network")
+		iters      = flag.Int("iters", 1000, "netprofit: iterations")
+		strategy   = flag.String("strategy", "netprofit", "netprofit: successrate or netprofit")
+		parallel   = flag.Int("parallel", 0, "worker-pool width (0 = GOMAXPROCS, 1 = serial); outputs are identical at any width")
+		attack     = flag.String("attack", "", "adversary model: badmouth, ballot, selfpromo, onoff, whitewash (empty = none)")
+		attackers  = flag.Int("attackers", 0, "attack ring size (trustees turned attackers)")
+		collude    = flag.Bool("collude", false, "coordinate the attackers as a collusion ring")
 	)
 	flag.Parse()
+
+	if *list {
+		fmt.Println("experiments:", experiments.Names())
+		fmt.Println("attack models:", adversary.Names())
+		return
+	}
+
+	if *experiment != "" {
+		res, err := experiments.RunOpts(*experiment, experiments.Options{
+			Seed: *seed, Parallelism: *parallel,
+			Attack: *attack, Attackers: *attackers, Collude: *collude,
+		})
+		if err != nil {
+			fail(err)
+		}
+		if err := res.Table().Render(os.Stdout); err != nil {
+			fail(err)
+		}
+		if c, ok := res.(experiments.Charter); ok {
+			for _, chart := range c.Charts() {
+				fmt.Println()
+				if err := chart.Render(os.Stdout); err != nil {
+					fail(err)
+				}
+			}
+		}
+		for _, e := range res.ShapeCheck() {
+			fmt.Fprintln(os.Stderr, "shape check:", e)
+		}
+		return
+	}
+
+	model, err := adversary.Parse(*attack)
+	if err != nil {
+		fail(err)
+	}
+	if *collude && model != nil {
+		model = adversary.Collusion{Of: model}
+	}
+	atkCfg := sim.AttackConfig{Model: model, Attackers: *attackers}
+	if model != nil && *attackers == 0 {
+		atkCfg.Attackers = 25 // a meaningful default ring for ad-hoc runs
+	}
 
 	profile, err := socialgen.ProfileByName(*netName)
 	if err != nil {
@@ -54,6 +112,7 @@ func main() {
 		cfg := sim.DefaultPopulationConfig(*seed)
 		cfg.Theta = *theta
 		cfg.Parallelism = *parallel
+		cfg.Attack = atkCfg
 		p := sim.NewPopulation(net, cfg)
 		eng := sim.NewEngine(p, "cli-mutuality")
 		tk := task.Uniform(1, task.CharCompute)
@@ -65,6 +124,13 @@ func main() {
 		fmt.Printf("success rate     %.3f\n", c.SuccessRate())
 		fmt.Printf("unavailable rate %.3f\n", c.UnavailableRate())
 		fmt.Printf("abuse rate       %.3f\n", c.AbuseRate())
+		if p.AttackEnabled() {
+			fmt.Printf("attack=%s attackers=%d\n", atkCfg.Model.Name(), len(p.Attackers))
+			fmt.Printf("attacker delegation share %.3f\n",
+				float64(c.AttackerDelegations)/float64(max(1, c.Requests-c.Unavailable)))
+			honest, atk := eng.PerceivedTrust(*rounds-1, tk)
+			fmt.Printf("trust gap (honest − attacker) %.3f\n", honest-atk)
+		}
 
 	case "transitivity":
 		pol, err := parsePolicy(*policy)

@@ -1,0 +1,248 @@
+package adversary
+
+import (
+	"testing"
+
+	"siot/internal/core"
+)
+
+func ctxWithRing(round int, ring ...core.AgentID) Context {
+	return Context{Seed: 7, Label: "test", Round: round, Ring: ring}
+}
+
+func TestContextInRing(t *testing.T) {
+	ctx := ctxWithRing(0, 2, 5, 9)
+	for _, id := range []core.AgentID{2, 5, 9} {
+		if !ctx.InRing(id) {
+			t.Errorf("InRing(%d) = false", id)
+		}
+	}
+	for _, id := range []core.AgentID{0, 1, 3, 8, 10} {
+		if ctx.InRing(id) {
+			t.Errorf("InRing(%d) = true", id)
+		}
+	}
+	if (Context{}).InRing(1) {
+		t.Error("empty ring contains 1")
+	}
+}
+
+// TestContextRandPure pins the hook determinism contract: every call with
+// the same arguments yields the identical stream, and distinct hooks,
+// rounds, and attackers yield distinct streams.
+func TestContextRandPure(t *testing.T) {
+	ctx := ctxWithRing(3, 4)
+	a, b := ctx.Rand("sabotage", 4), ctx.Rand("sabotage", 4)
+	for i := 0; i < 10; i++ {
+		if av, bv := a.Float64(), b.Float64(); av != bv {
+			t.Fatalf("draw %d differs: %v vs %v", i, av, bv)
+		}
+	}
+	if ctx.Rand("sabotage", 4).Float64() == ctx.Rand("forge", 4).Float64() {
+		t.Error("hooks share a stream")
+	}
+	if ctx.Rand("sabotage", 4).Float64() == ctx.Rand("sabotage", 5).Float64() {
+		t.Error("attackers share a stream")
+	}
+	other := ctxWithRing(4, 4)
+	if ctx.Rand("sabotage", 4).Float64() == other.Rand("sabotage", 4).Float64() {
+		t.Error("rounds share a stream")
+	}
+}
+
+func TestBadMouthingForgesOnlyOutsideRing(t *testing.T) {
+	ctx := ctxWithRing(0, 2, 5)
+	a := BadMouthing{}
+	if tw, forged := a.ForgeRecommendation(ctx, 2, 7); !forged || tw > 0.1 {
+		t.Errorf("outside ring: tw=%v forged=%v", tw, forged)
+	}
+	if _, forged := a.ForgeRecommendation(ctx, 2, 5); forged {
+		t.Error("forged about a ring member")
+	}
+	if a.Active(ctx, 2) {
+		t.Error("bad-mouthing should serve honestly")
+	}
+}
+
+func TestBallotStuffingForgesOnlyRing(t *testing.T) {
+	ctx := ctxWithRing(0, 2, 5)
+	a := BallotStuffing{}
+	if tw, forged := a.ForgeRecommendation(ctx, 2, 5); !forged || tw < 0.9 {
+		t.Errorf("ring member: tw=%v forged=%v", tw, forged)
+	}
+	if tw, forged := a.ForgeRecommendation(ctx, 2, 2); !forged || tw < 0.9 {
+		t.Errorf("self: tw=%v forged=%v", tw, forged)
+	}
+	if _, forged := a.ForgeRecommendation(ctx, 2, 7); forged {
+		t.Error("forged about an outsider")
+	}
+}
+
+func TestSelfPromotionForgesOnlySelf(t *testing.T) {
+	ctx := ctxWithRing(0, 2, 5)
+	a := SelfPromotion{}
+	if tw, forged := a.ForgeRecommendation(ctx, 2, 2); !forged || tw < 0.9 {
+		t.Errorf("self: tw=%v forged=%v", tw, forged)
+	}
+	if _, forged := a.ForgeRecommendation(ctx, 2, 5); forged {
+		t.Error("promoted a fellow ring member")
+	}
+}
+
+// TestOnOffDutyCycle checks the phase arithmetic across a whole period at
+// several duties, including both degenerate ends.
+func TestOnOffDutyCycle(t *testing.T) {
+	cases := []struct {
+		duty         float64
+		activeRounds int // per 20-round period
+	}{
+		{0, 20}, {0.25, 15}, {0.5, 10}, {0.75, 5}, {1, 0},
+	}
+	for _, tc := range cases {
+		a := OnOff{Period: 20, Duty: tc.duty}
+		active := 0
+		for round := 0; round < 40; round++ {
+			if a.Active(ctxWithRing(round, 1), 1) {
+				active++
+			}
+		}
+		if active != 2*tc.activeRounds {
+			t.Errorf("duty %.2f: active %d rounds of 40, want %d", tc.duty, active, 2*tc.activeRounds)
+		}
+		// Each cycle starts honest: round 0 is active only at duty 0.
+		if got := a.Active(ctxWithRing(0, 1), 1); got != (tc.duty == 0) {
+			t.Errorf("duty %.2f: round 0 active = %v", tc.duty, got)
+		}
+	}
+}
+
+func TestWhitewashingChurnSchedule(t *testing.T) {
+	a := Whitewashing{RejoinEvery: 10}
+	var churns []int
+	for round := 0; round < 35; round++ {
+		if a.Churn(ctxWithRing(round, 1), 1) {
+			churns = append(churns, round)
+		}
+	}
+	want := []int{9, 19, 29}
+	if len(churns) != len(want) {
+		t.Fatalf("churn rounds %v, want %v", churns, want)
+	}
+	for i := range want {
+		if churns[i] != want[i] {
+			t.Fatalf("churn rounds %v, want %v", churns, want)
+		}
+	}
+	if !a.Active(ctxWithRing(0, 1), 1) {
+		t.Error("whitewashing should always sabotage")
+	}
+}
+
+func TestSabotageForcesFailure(t *testing.T) {
+	ctx := ctxWithRing(0, 1)
+	out := core.Outcome{Success: true, Gain: 0.8, Cost: 0.1}
+	for _, a := range []Attack{OnOff{Duty: 0}, Whitewashing{}} {
+		got := a.SabotageOutcome(ctx, 1, out)
+		if got.Success || got.Gain != 0 {
+			t.Errorf("%s: sabotaged outcome %+v still succeeds", a.Name(), got)
+		}
+		if got.Damage < 0.5 || got.Damage > 1 {
+			t.Errorf("%s: damage %v outside [0.5, 1]", a.Name(), got.Damage)
+		}
+		if got.Cost != out.Cost {
+			t.Errorf("%s: sabotage changed the cost", a.Name())
+		}
+	}
+}
+
+// TestCollusionSizeOneEqualsSolo pins the degeneration property at the
+// hook level: with a ring of one, every Collusion hook returns exactly what
+// the underlying attack returns, for every subject relation.
+func TestCollusionSizeOneEqualsSolo(t *testing.T) {
+	solos := []Attack{BadMouthing{}, BallotStuffing{}, SelfPromotion{}, OnOff{Period: 4, Duty: 0.5}, Whitewashing{RejoinEvery: 3}}
+	for _, solo := range solos {
+		wrapped := Collusion{Of: solo}
+		for round := 0; round < 8; round++ {
+			ctx := ctxWithRing(round, 2)
+			if wrapped.Active(ctx, 2) != solo.Active(ctx, 2) {
+				t.Errorf("%s round %d: Active differs", solo.Name(), round)
+			}
+			if wrapped.Churn(ctx, 2) != solo.Churn(ctx, 2) {
+				t.Errorf("%s round %d: Churn differs", solo.Name(), round)
+			}
+			for _, subject := range []core.AgentID{2, 7} {
+				wtw, wok := wrapped.ForgeRecommendation(ctx, 2, subject)
+				stw, sok := solo.ForgeRecommendation(ctx, 2, subject)
+				if wtw != stw || wok != sok {
+					t.Errorf("%s round %d subject %d: forge (%v,%v) vs solo (%v,%v)",
+						solo.Name(), round, subject, wtw, wok, stw, sok)
+				}
+			}
+			out := core.Outcome{Success: true, Gain: 0.5, Cost: 0.2}
+			if wrapped.SabotageOutcome(ctx, 2, out) != solo.SabotageOutcome(ctx, 2, out) {
+				t.Errorf("%s round %d: sabotage differs", solo.Name(), round)
+			}
+		}
+	}
+}
+
+func TestCollusionPromotesRing(t *testing.T) {
+	ctx := ctxWithRing(0, 2, 5)
+	a := Collusion{Of: BadMouthing{}}
+	if tw, forged := a.ForgeRecommendation(ctx, 2, 5); !forged || tw < 0.9 {
+		t.Errorf("ring member not promoted: tw=%v forged=%v", tw, forged)
+	}
+	if tw, forged := a.ForgeRecommendation(ctx, 2, 7); !forged || tw > 0.1 {
+		t.Errorf("outsider not bad-mouthed: tw=%v forged=%v", tw, forged)
+	}
+	if a.Name() != "collusion(bad-mouthing)" {
+		t.Errorf("name = %q", a.Name())
+	}
+}
+
+func TestHonestIsNull(t *testing.T) {
+	ctx := ctxWithRing(0, 1)
+	a := Honest{}
+	out := core.Outcome{Success: true, Gain: 0.5}
+	if a.Active(ctx, 1) || a.Churn(ctx, 1) {
+		t.Error("honest model misbehaves")
+	}
+	if _, forged := a.ForgeRecommendation(ctx, 1, 2); forged {
+		t.Error("honest model forges")
+	}
+	if a.SabotageOutcome(ctx, 1, out) != out {
+		t.Error("honest model rewrites outcomes")
+	}
+}
+
+func TestParse(t *testing.T) {
+	for name, want := range map[string]string{
+		"badmouth":  "bad-mouthing",
+		"ballot":    "ballot-stuffing",
+		"selfpromo": "self-promotion",
+		"onoff":     "on-off",
+		"whitewash": "whitewashing",
+	} {
+		a, err := Parse(name)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", name, err)
+		}
+		if a.Name() != want {
+			t.Errorf("Parse(%q).Name() = %q, want %q", name, a.Name(), want)
+		}
+	}
+	for _, name := range []string{"", "none"} {
+		if a, err := Parse(name); err != nil || a != nil {
+			t.Errorf("Parse(%q) = %v, %v; want nil, nil", name, a, err)
+		}
+	}
+	if _, err := Parse("sybil"); err == nil {
+		t.Error("Parse of unknown model did not error")
+	}
+	// Every advertised name parses.
+	for _, name := range Names() {
+		if a, err := Parse(name); err != nil || a == nil {
+			t.Errorf("advertised name %q does not parse: %v", name, err)
+		}
+	}
+}

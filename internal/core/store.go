@@ -299,6 +299,21 @@ func (s *Store) ObserveUsage(trustor AgentID, abusive bool) {
 	}
 }
 
+// Forget erases everything the store knows about one agent: the experience
+// records accumulated about it as trustee and the usage log kept about it as
+// trustor. This is the memory half of identity churn — a whitewashing
+// attacker that rejoins under a fresh identity is, to every peer, an agent
+// nobody remembers.
+func (s *Store) Forget(about AgentID) {
+	sh := s.shard(about)
+	sh.mu.Lock()
+	delete(sh.records, about)
+	sh.mu.Unlock()
+	s.usageMu.Lock()
+	delete(s.usage, about)
+	s.usageMu.Unlock()
+}
+
 // ReverseTW returns the reverse-evaluation trustworthiness this agent (as
 // potential trustee) assigns to the requesting trustor (eq. 1's
 // TW̃_{y←X}(τ)).

@@ -1,12 +1,18 @@
 package experiments
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
+	"siot/internal/adversary"
 	"siot/internal/report"
 	"siot/internal/stats"
 )
+
+// ErrUnknownExperiment is returned (wrapped) by Run and RunOpts when the
+// named experiment is not registered. Callers match it with errors.Is.
+var ErrUnknownExperiment = errors.New("unknown experiment")
 
 // Result is the common surface of every experiment result: a summary table
 // and the qualitative shape checks against the paper's claims.
@@ -95,6 +101,33 @@ type Options struct {
 	// (0 = GOMAXPROCS, 1 = serial). Experiment outputs are bit-identical
 	// across all values; only wall-clock time changes.
 	Parallelism int
+	// Attack overrides the adversary model of the attack-* experiments
+	// (see adversary.Parse for the names); "" keeps each experiment's
+	// default. Non-attack experiments ignore it.
+	Attack string
+	// Attackers overrides the attack ring size (0 keeps the default).
+	Attackers int
+	// Collude wraps the attack-* experiments' model in a coordinated
+	// collusion ring (mutual promotion among the attackers).
+	Collude bool
+}
+
+// attackOverrides applies the attack-related option overrides to a
+// scenario config. o.Attack has been validated by RunOpts.
+func (o Options) attackOverrides(cfg AttackScenarioConfig) AttackScenarioConfig {
+	cfg.Parallelism = o.Parallelism
+	if o.Attack != "" {
+		if m, err := adversary.Parse(o.Attack); err == nil && m != nil {
+			cfg.Model = m
+		}
+	}
+	if o.Attackers > 0 {
+		cfg.Attackers = o.Attackers
+	}
+	if o.Collude {
+		cfg.Model = adversary.Collusion{Of: cfg.Model}
+	}
+	return cfg
 }
 
 // runners maps experiment IDs to their default-configuration runners.
@@ -138,6 +171,19 @@ var runners = map[string]func(o Options) Result{
 	"ablation-self": func(o Options) Result {
 		return RunAblationSelfDelegation(DefaultAblationSelfDelegationConfig(o.Seed))
 	},
+	"attack-badmouth": func(o Options) Result {
+		return RunAttack(o.attackOverrides(DefaultAttackConfig(o.Seed, adversary.BadMouthing{})))
+	},
+	"attack-onoff": func(o Options) Result {
+		return RunAttack(o.attackOverrides(DefaultAttackConfig(o.Seed, adversary.OnOff{Period: 20, Duty: 0.5})))
+	},
+	"attack-whitewash": func(o Options) Result {
+		return RunAttack(o.attackOverrides(DefaultAttackConfig(o.Seed, adversary.Whitewashing{})))
+	},
+	"attack-collusion": func(o Options) Result {
+		return RunAttack(o.attackOverrides(DefaultAttackConfig(o.Seed,
+			adversary.Collusion{Of: adversary.BadMouthing{}})))
+	},
 }
 
 // Names lists the registered experiment IDs in sorted order.
@@ -161,7 +207,10 @@ func Run(name string, seed uint64) (Result, error) {
 func RunOpts(name string, o Options) (Result, error) {
 	r, ok := runners[name]
 	if !ok {
-		return nil, fmt.Errorf("experiments: unknown experiment %q (known: %v)", name, Names())
+		return nil, fmt.Errorf("experiments: %w %q (known: %v)", ErrUnknownExperiment, name, Names())
+	}
+	if _, err := adversary.Parse(o.Attack); err != nil {
+		return nil, err
 	}
 	return r(o), nil
 }

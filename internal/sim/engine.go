@@ -5,6 +5,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"siot/internal/adversary"
 	"siot/internal/agent"
 	"siot/internal/core"
 	"siot/internal/env"
@@ -44,6 +45,7 @@ type Engine struct {
 
 	initOnce    sync.Once
 	trusteeNbrs [][]core.AgentID // trustee-kind neighbors per trustor position
+	socialNbrs  [][]core.AgentID // all neighbors per trustor position (attack scenarios only)
 }
 
 // NewEngine returns an engine over the population using its configured
@@ -63,15 +65,46 @@ func (e *Engine) workers() int {
 	return runtime.GOMAXPROCS(0)
 }
 
-// init precomputes the per-trustor trustee-neighbor lists so rounds do not
-// re-derive them every time.
+// init precomputes the per-trustor neighbor lists so rounds do not
+// re-derive (and re-allocate) them every time. The full social-neighbor
+// lists feed the recommendation channel, which only attack scenarios use.
 func (e *Engine) init() {
 	e.initOnce.Do(func() {
 		e.trusteeNbrs = make([][]core.AgentID, len(e.Pop.Trustors))
 		for i, x := range e.Pop.Trustors {
 			e.trusteeNbrs[i] = e.Pop.TrusteeNeighbors(x)
 		}
+		if e.Pop.AttackEnabled() {
+			e.socialNbrs = make([][]core.AgentID, len(e.Pop.Trustors))
+			for i, x := range e.Pop.Trustors {
+				e.socialNbrs[i] = e.Pop.Neighbors(x)
+			}
+		}
 	})
+}
+
+// mutualityLabel is the random-stream label of the engine's mutuality
+// rounds; PerceivedTrust must derive the very same label so its attack
+// context keys the same adversary sub-streams as the rounds themselves.
+func (e *Engine) mutualityLabel() string {
+	return "engine-mutuality:" + e.Label + ":" + e.Pop.Net.Profile.Name
+}
+
+// candidateTW scores candidate trustee y for the trustor at position i the
+// way a mutuality round does: direct experience first, the one-hop
+// recommendation channel (attack scenarios only, with attackers forging)
+// for strangers, the neutral prior when nobody knows anything. Read-only.
+func (e *Engine) candidateTW(attacked bool, ctx adversary.Context, i int, x, y core.AgentID, tk task.Task) float64 {
+	tw, ok := e.Pop.Agent(x).Store.BestTW(y, tk)
+	if ok {
+		return tw
+	}
+	if attacked {
+		if rec, ok := e.recommendedTW(ctx, e.socialNbrs[i], y, tk); ok {
+			return rec
+		}
+	}
+	return 0.5 // neutral prior before any experience
 }
 
 // mapTrustors computes fn for every trustor on a pool of workers and
@@ -122,11 +155,24 @@ type mutualityAction struct {
 // the state of the previous round, and all effects merge in ascending
 // trustor-ID order. round indexes the random sub-streams and must advance
 // every call.
+//
+// When the population carries an attack scenario (PopulationConfig.Attack),
+// three adversary hooks fire: trustors without direct experience of a
+// candidate gather one-hop recommendations that attackers may forge; a
+// pre-merge pass lets active attackers sabotage the outcomes of the
+// delegations they serve; and a post-merge pass lets whitewashing attackers
+// shed their identity. With no attack configured every hook is skipped and
+// the round is bit-identical to the pre-adversary engine.
 func (e *Engine) MutualityRound(round int, tk task.Task, c *MutualityCounters) {
 	e.init()
 	p := e.Pop
-	label := "engine-mutuality:" + e.Label + ":" + p.Net.Profile.Name
+	label := e.mutualityLabel()
 	actCfg := agent.DefaultActConfig()
+	attacked := p.AttackEnabled()
+	var actx adversary.Context
+	if attacked {
+		actx = e.attackContext(label, round)
+	}
 	acts := mapTrustors(p.Trustors, e.workers(), func(i int, x core.AgentID) mutualityAction {
 		nbrs := e.trusteeNbrs[i]
 		if len(nbrs) == 0 {
@@ -136,11 +182,9 @@ func (e *Engine) MutualityRound(round int, tk task.Task, c *MutualityCounters) {
 		trustor := p.Agent(x)
 		cands := make([]core.Candidate, 0, len(nbrs))
 		for _, y := range nbrs {
-			tw, ok := trustor.Store.BestTW(y, tk)
-			if !ok {
-				tw = 0.5 // neutral prior before any experience
-			}
-			cands = append(cands, core.Candidate{ID: y, TW: tw})
+			// Strangers are judged by one-hop recommendations, which
+			// attackers may forge (candidateTW).
+			cands = append(cands, core.Candidate{ID: y, TW: e.candidateTW(attacked, actx, i, x, y, tk)})
 		}
 		chosen, ok := core.SelectMutual(cands, func(y core.AgentID) bool {
 			return p.Agent(y).AcceptsDelegation(x)
@@ -153,6 +197,10 @@ func (e *Engine) MutualityRound(round int, tk task.Task, c *MutualityCounters) {
 		act.abusive = trustor.Behavior.UsesAbusively(r)
 		return act
 	})
+	if attacked {
+		// Pre-merge hook: active attackers rewrite their buffered outcomes.
+		e.applyAttack(actx, acts)
+	}
 	for i, x := range p.Trustors {
 		a := acts[i]
 		if !a.requested {
@@ -166,6 +214,9 @@ func (e *Engine) MutualityRound(round int, tk task.Task, c *MutualityCounters) {
 		if a.out.Success {
 			c.Successes++
 		}
+		if attacked && p.attackers[a.trustee] {
+			c.AttackerDelegations++
+		}
 		trustee := p.Agent(a.trustee)
 		p.Agent(x).Store.Observe(a.trustee, tk, a.out, core.PerfectEnv())
 		trustee.DrainEnergy(a.out.Cost)
@@ -175,6 +226,10 @@ func (e *Engine) MutualityRound(round int, tk task.Task, c *MutualityCounters) {
 		if a.abusive {
 			c.Abuses++
 		}
+	}
+	if attacked {
+		// Post-merge hook: whitewashing attackers shed their identity.
+		e.applyChurn(actx)
 	}
 }
 

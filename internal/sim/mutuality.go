@@ -23,6 +23,9 @@ type MutualityCounters struct {
 	// subset.
 	Uses   int
 	Abuses int
+	// AttackerDelegations counts accepted delegations that landed on an
+	// attacking trustee (always 0 without an attack scenario).
+	AttackerDelegations int
 }
 
 // SuccessRate is successes over requests.

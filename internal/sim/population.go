@@ -35,6 +35,11 @@ type PopulationConfig struct {
 	// over this population: 0 uses GOMAXPROCS, 1 runs serially. Results are
 	// bit-identical across all values (see Engine).
 	Parallelism int
+	// Attack injects a trust-attack scenario: Attack.Attackers trustees run
+	// Attack.Model against the delegation rounds. The zero value disables
+	// the adversary subsystem, leaving every round bit-identical to a build
+	// without it.
+	Attack AttackConfig
 }
 
 // DefaultPopulationConfig mirrors the paper's simulation setup.
@@ -54,7 +59,11 @@ type Population struct {
 	// Trustors and Trustees list the role members in ascending ID order.
 	Trustors []core.AgentID
 	Trustees []core.AgentID
-	cfg      PopulationConfig
+	// Attackers lists the trustees running the configured attack model, in
+	// ascending ID order (empty when no attack is configured).
+	Attackers []core.AgentID
+	attackers map[core.AgentID]bool
+	cfg       PopulationConfig
 }
 
 // NewPopulation assigns roles and behaviors over the given social network.
@@ -103,6 +112,9 @@ func NewPopulation(net *socialgen.Network, cfg PopulationConfig) *Population {
 	}
 	sortIDs(p.Trustors)
 	sortIDs(p.Trustees)
+	if cfg.Attack.Enabled() {
+		p.installAttackers()
+	}
 	return p
 }
 

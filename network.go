@@ -3,6 +3,7 @@ package siot
 import (
 	"io"
 
+	"siot/internal/adversary"
 	"siot/internal/experiments"
 	"siot/internal/graph"
 	"siot/internal/report"
@@ -110,6 +111,50 @@ func NewPopulation(net *SocialNetwork, cfg PopulationConfig) *Population {
 // separates its random streams from other phases run on the same
 // population.
 func NewEngine(p *Population, label string) *Engine { return sim.NewEngine(p, label) }
+
+// ---- Adversary subsystem (internal/adversary) ----
+
+// Attack is one trust-attack model: bad-mouthing, ballot-stuffing,
+// self-promotion, on-off, whitewashing, or a collusion ring coordinating
+// any of them. Configure it on a population through AttackConfig.
+type Attack = adversary.Attack
+
+// AttackConfig injects a trust-attack scenario into a population
+// (PopulationConfig.Attack): Attackers trustees run Model against the
+// delegation rounds. The zero value disables the adversary subsystem.
+type AttackConfig = sim.AttackConfig
+
+// Concrete attack models; their zero values apply sensible defaults.
+type (
+	// BadMouthingAttack forges minimal-trust recommendations about honest
+	// trustees.
+	BadMouthingAttack = adversary.BadMouthing
+	// BallotStuffingAttack forges maximal-trust recommendations about ring
+	// members.
+	BallotStuffingAttack = adversary.BallotStuffing
+	// SelfPromotionAttack forges maximal-trust claims about itself.
+	SelfPromotionAttack = adversary.SelfPromotion
+	// OnOffAttack alternates honest and sabotaging service phases.
+	OnOffAttack = adversary.OnOff
+	// WhitewashingAttack sabotages and periodically rejoins under a fresh
+	// identity.
+	WhitewashingAttack = adversary.Whitewashing
+	// CollusionAttack coordinates a ring running any underlying attack
+	// with mutual promotion.
+	CollusionAttack = adversary.Collusion
+)
+
+// ParseAttack maps a CLI-friendly model name ("badmouth", "ballot",
+// "selfpromo", "onoff", "whitewash") to a default-parameter Attack; "" and
+// "none" return nil.
+func ParseAttack(name string) (Attack, error) { return adversary.Parse(name) }
+
+// AttackNames lists the attack-model names ParseAttack accepts.
+func AttackNames() []string { return adversary.Names() }
+
+// Resilience aggregates the attack-resilience metrics of one scenario:
+// trust gap, detection latency, and delegation-success degradation.
+type Resilience = report.Resilience
 
 // ---- ZigBee testbed simulator (internal/zigbee) ----
 

@@ -120,8 +120,17 @@ func TestFacadeEnvironment(t *testing.T) {
 
 func TestFacadeExperimentRegistry(t *testing.T) {
 	names := siot.ExperimentNames()
-	if len(names) != 13 {
+	if len(names) != 17 {
 		t.Fatalf("experiments = %v", names)
+	}
+	have := map[string]bool{}
+	for _, n := range names {
+		have[n] = true
+	}
+	for _, want := range []string{"attack-badmouth", "attack-onoff", "attack-whitewash", "attack-collusion"} {
+		if !have[want] {
+			t.Fatalf("facade registry missing %q: %v", want, names)
+		}
 	}
 	if _, err := siot.RunExperiment("not-an-experiment", 1); err == nil {
 		t.Fatal("unknown experiment accepted")
