@@ -8,39 +8,21 @@ package siot_test
 import (
 	"testing"
 
+	"siot/internal/benchnet"
 	"siot/internal/core"
 	"siot/internal/experiments"
 	"siot/internal/sim"
-	"siot/internal/socialgen"
 	"siot/internal/stats"
 	"siot/internal/task"
 )
 
-const benchSeed = 42
-
-// roundsPopulation builds the 1k-node network the parallel-engine
-// benchmarks run on, with experience records seeded for the transitivity
-// searches.
-func roundsPopulation(b *testing.B) (*sim.Population, sim.TransitivitySetup) {
-	b.Helper()
-	profile := socialgen.Profile{
-		Name: "bench1k", Nodes: 1000, Edges: 8000,
-		Communities: 12, IntraFrac: 0.7, FoF: 0.5, SizeSkew: 1.0,
-		Overlap: 0.2, ChainCommunities: 1, FeatureKinds: 6, FeaturesPerNode: 2,
-	}
-	net := socialgen.Generate(profile, benchSeed)
-	p := sim.NewPopulation(net, sim.DefaultPopulationConfig(benchSeed))
-	r := p.Rand("bench-rounds")
-	setup := sim.DefaultTransitivitySetup(5, r)
-	setup.MaxDepth = 3
-	sim.SeedExperience(p, setup, r)
-	return p, setup
-}
+const benchSeed = benchnet.Seed
 
 // benchRounds plays one full delegation round per iteration — a mutuality
-// round plus a transitivity search sweep — at the given worker-pool width.
-func benchRounds(b *testing.B, workers int) {
-	p, setup := roundsPopulation(b)
+// round plus a transitivity search sweep — at the given worker-pool width
+// and node count.
+func benchRounds(b *testing.B, nodes, workers int) {
+	p, setup := benchnet.Population(nodes)
 	eng := &sim.Engine{Pop: p, Parallelism: workers, Label: "bench"}
 	tk := task.Uniform(1, task.CharCompute)
 	b.ResetTimer()
@@ -53,12 +35,53 @@ func benchRounds(b *testing.B, workers int) {
 
 // BenchmarkRoundsSerial is the single-goroutine baseline of the delegation
 // round engine on a 1k-node network.
-func BenchmarkRoundsSerial(b *testing.B) { benchRounds(b, 1) }
+func BenchmarkRoundsSerial(b *testing.B) { benchRounds(b, 1000, 1) }
 
 // BenchmarkRoundsParallel runs the same rounds with a 4-worker pool. The
 // outputs are bit-identical to the serial baseline (see sim.Engine); on a
 // machine with >= 4 cores the wall-clock time should drop by >= 2x.
-func BenchmarkRoundsParallel(b *testing.B) { benchRounds(b, 4) }
+func BenchmarkRoundsParallel(b *testing.B) { benchRounds(b, 1000, 4) }
+
+// benchTransitivity isolates the transitivity portion of a round — one
+// frozen-epoch capture, memo pre-pass, and full per-trustor aggressive
+// sweep — at the given scale.
+func benchTransitivity(b *testing.B, nodes, workers int) {
+	p, setup := benchnet.Population(nodes)
+	eng := &sim.Engine{Pop: p, Parallelism: workers, Label: "bench"}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.TransitivityRun(setup, core.PolicyAggressive, benchSeed)
+	}
+}
+
+// BenchmarkTransitivitySerial is the transitivity portion of
+// BenchmarkRoundsSerial in isolation (1k nodes, aggressive policy).
+func BenchmarkTransitivitySerial(b *testing.B) { benchTransitivity(b, 1000, 1) }
+
+// BenchmarkTransitivity10k runs the same sweep on a 10k-node, 80k-edge
+// network — a scale the pre-snapshot live-store path made impractical.
+func BenchmarkTransitivity10k(b *testing.B) { benchTransitivity(b, 10000, 1) }
+
+// BenchmarkFindAggressive measures one warm aggressive search over a frozen
+// epoch. With the pooled dense scratch state and a recycled result this
+// must report 0 allocs/op (guarded by sim's TestFindViewZeroAlloc).
+func BenchmarkFindAggressive(b *testing.B) {
+	p, setup := benchnet.Population(1000)
+	s := p.Searcher(setup.MaxDepth, setup.Omega1, setup.Omega2)
+	view := p.TrustView()
+	memo := core.NewEdgeMemo(view, p.Config().Update.Norm, 1)
+	tk := setup.Universe.Tasks[0]
+	memo.Require(core.PolicyAggressive, []task.Task{tk})
+	trustor := p.Trustors[0]
+	var res core.SearchResult
+	s.FindViewInto(&res, view, memo, trustor, tk, core.PolicyAggressive) // warm the pool
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.FindViewInto(&res, view, memo, trustor, tk, core.PolicyAggressive)
+	}
+	b.ReportMetric(float64(res.Inquired), "inquired")
+}
 
 // BenchmarkTable1Connectivity regenerates Table 1: the connectivity
 // characteristics of the three evaluation networks.

@@ -7,6 +7,13 @@
 // Usage:
 //
 //	siot-bench [-seed N] [-exp table1,fig7,...|all] [-csv DIR] [-charts] [-parallel P]
+//	siot-bench -json BENCH.json [-label NAME]
+//
+// With -json, siot-bench runs the machine-readable perf suite instead of
+// the experiments: it times the engine's standard workloads (delegation
+// rounds, frozen-epoch transitivity sweeps at 1k and 10k nodes, a single
+// warm search) and appends an entry to the JSON history file, tracking the
+// perf trajectory across PRs.
 //
 // Exit status is nonzero if any shape check fails.
 package main
@@ -28,7 +35,17 @@ func main() {
 	csvDir := flag.String("csv", "", "directory to write per-experiment CSV files")
 	charts := flag.Bool("charts", true, "render ASCII charts for figure experiments")
 	parallel := flag.Int("parallel", 0, "simulation worker-pool width (0 = GOMAXPROCS, 1 = serial); outputs are identical at any width")
+	jsonPath := flag.String("json", "", "run the perf suite and append the results to this JSON history file (skips the experiments)")
+	label := flag.String("label", "local", "label recorded with the -json perf entry")
 	flag.Parse()
+
+	if *jsonPath != "" {
+		if err := runPerfSuite(*jsonPath, *label); err != nil {
+			fmt.Fprintln(os.Stderr, "siot-bench:", err)
+			os.Exit(2)
+		}
+		return
+	}
 
 	var names []string
 	if *expFlag == "all" {

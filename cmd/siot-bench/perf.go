@@ -1,0 +1,176 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"siot/internal/benchnet"
+	"siot/internal/core"
+	"siot/internal/sim"
+	"siot/internal/task"
+)
+
+// The -json perf suite: a fixed set of engine workloads timed with
+// testing.Benchmark and appended to a JSON history file, so the perf
+// trajectory of the hot paths stays machine-readable across PRs. The
+// workloads mirror the go test benchmarks (bench_test.go) on the shared
+// benchnet networks.
+
+// perfResult is one timed workload.
+type perfResult struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	// SpeedupVsSerial compares against the suite's serial rounds baseline
+	// (only set for parallel variants).
+	SpeedupVsSerial float64            `json:"speedup_vs_serial,omitempty"`
+	Counters        map[string]float64 `json:"counters,omitempty"`
+}
+
+// perfEntry is one suite run (one PR / one CI invocation).
+type perfEntry struct {
+	Label      string       `json:"label"`
+	Date       string       `json:"date"`
+	Go         string       `json:"go"`
+	Benchmarks []perfResult `json:"benchmarks"`
+}
+
+// perfFile is the BENCH.json layout: an append-only entry history.
+type perfFile struct {
+	Entries []perfEntry `json:"entries"`
+}
+
+// timed converts a testing.Benchmark result.
+func timed(name string, r testing.BenchmarkResult) perfResult {
+	return perfResult{
+		Name:        name,
+		NsPerOp:     float64(r.NsPerOp()),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		AllocsPerOp: r.AllocsPerOp(),
+	}
+}
+
+// benchRoundsWorkload times one full delegation round (mutuality +
+// aggressive transitivity sweep) per op at the given scale and width.
+func benchRoundsWorkload(nodes, workers int) (testing.BenchmarkResult, sim.MutualityCounters) {
+	var c sim.MutualityCounters
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		p, setup := benchnet.Population(nodes)
+		eng := &sim.Engine{Pop: p, Parallelism: workers, Label: "perf"}
+		tk := task.Uniform(1, task.CharCompute)
+		c = sim.MutualityCounters{}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			eng.MutualityRound(i, tk, &c)
+			eng.TransitivityRun(setup, core.PolicyAggressive, benchnet.Seed)
+		}
+	})
+	return res, c
+}
+
+// benchTransitivityWorkload times one frozen-epoch aggressive sweep per op.
+// The sweep is a pure read of the population, so the (expensive at 10k
+// nodes) build happens once, outside the benchmark's sizing rounds.
+func benchTransitivityWorkload(nodes, workers int) (testing.BenchmarkResult, sim.TransitivityStats) {
+	p, setup := benchnet.Population(nodes)
+	eng := &sim.Engine{Pop: p, Parallelism: workers, Label: "perf"}
+	var st sim.TransitivityStats
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			st = eng.TransitivityRun(setup, core.PolicyAggressive, benchnet.Seed)
+		}
+	})
+	return res, st
+}
+
+// benchFindWorkload times one warm aggressive search over a frozen epoch
+// (the 0 allocs/op guard's workload). Pure read: built once.
+func benchFindWorkload(nodes int) (testing.BenchmarkResult, int) {
+	p, setup := benchnet.Population(nodes)
+	s := p.Searcher(setup.MaxDepth, setup.Omega1, setup.Omega2)
+	view := p.TrustView()
+	memo := core.NewEdgeMemo(view, p.Config().Update.Norm, 1)
+	tk := setup.Universe.Tasks[0]
+	memo.Require(core.PolicyAggressive, []task.Task{tk})
+	trustor := p.Trustors[0]
+	var out core.SearchResult
+	s.FindViewInto(&out, view, memo, trustor, tk, core.PolicyAggressive) // warm the pool
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			s.FindViewInto(&out, view, memo, trustor, tk, core.PolicyAggressive)
+		}
+	})
+	return res, out.Inquired
+}
+
+// runPerfSuite executes the suite and appends the entry to path (creating
+// the file when absent).
+func runPerfSuite(path, label string) error {
+	var out perfFile
+	if data, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(data, &out); err != nil {
+			return fmt.Errorf("parse existing %s: %w", path, err)
+		}
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+
+	entry := perfEntry{
+		Label: label,
+		Date:  time.Now().UTC().Format("2006-01-02"),
+		Go:    runtime.Version(),
+	}
+
+	serial, counters := benchRoundsWorkload(1000, 1)
+	r := timed("rounds-1k-serial", serial)
+	r.Counters = map[string]float64{
+		"requests":  float64(counters.Requests),
+		"successes": float64(counters.Successes),
+	}
+	entry.Benchmarks = append(entry.Benchmarks, r)
+
+	parallel, _ := benchRoundsWorkload(1000, 4)
+	r = timed("rounds-1k-parallel4", parallel)
+	r.SpeedupVsSerial = float64(serial.NsPerOp()) / float64(parallel.NsPerOp())
+	entry.Benchmarks = append(entry.Benchmarks, r)
+
+	transit, st := benchTransitivityWorkload(1000, 1)
+	r = timed("transitivity-1k-serial", transit)
+	r.Counters = map[string]float64{
+		"requests":           float64(st.Requests),
+		"potential_trustees": float64(st.PotentialTrustees),
+	}
+	entry.Benchmarks = append(entry.Benchmarks, r)
+
+	transit10k, st10 := benchTransitivityWorkload(10000, 1)
+	r = timed("transitivity-10k-serial", transit10k)
+	r.Counters = map[string]float64{
+		"requests":           float64(st10.Requests),
+		"potential_trustees": float64(st10.PotentialTrustees),
+	}
+	entry.Benchmarks = append(entry.Benchmarks, r)
+
+	find, inquired := benchFindWorkload(1000)
+	r = timed("find-aggressive-1k", find)
+	r.Counters = map[string]float64{"inquired": float64(inquired)}
+	entry.Benchmarks = append(entry.Benchmarks, r)
+
+	out.Entries = append(out.Entries, entry)
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	for _, b := range entry.Benchmarks {
+		fmt.Printf("%-24s %12.0f ns/op %10d B/op %8d allocs/op\n",
+			b.Name, b.NsPerOp, b.BytesPerOp, b.AllocsPerOp)
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -1,0 +1,46 @@
+// Package benchnet builds the standard benchmark networks shared by the go
+// test benchmarks (bench_test.go) and the machine-readable perf suite of
+// cmd/siot-bench (-json): one canonical community-structured profile per
+// node count, with experience records seeded for the transitivity sweeps.
+package benchnet
+
+import (
+	"fmt"
+
+	"siot/internal/sim"
+	"siot/internal/socialgen"
+)
+
+// Seed is the canonical benchmark seed; every benchmark network derives
+// from it so numbers are comparable across runs and PRs.
+const Seed = 42
+
+// Profile returns the canonical benchmark network profile for a node
+// count: average degree 16, community-structured, with the same mixing
+// fractions at every scale (the 1k profile is the historical "bench1k"
+// network of BenchmarkRoundsSerial, unchanged).
+func Profile(nodes int) socialgen.Profile {
+	communities := nodes / 80
+	if communities < 4 {
+		communities = 4
+	}
+	return socialgen.Profile{
+		Name:  fmt.Sprintf("bench%dk", nodes/1000),
+		Nodes: nodes, Edges: 8 * nodes,
+		Communities: communities, IntraFrac: 0.7, FoF: 0.5, SizeSkew: 1.0,
+		Overlap: 0.2, ChainCommunities: 1, FeatureKinds: 6, FeaturesPerNode: 2,
+	}
+}
+
+// Population builds the benchmark population at the given node count with
+// transitivity experience seeded (5-characteristic alphabet, depth-3
+// chains), ready for delegation rounds and transitivity sweeps.
+func Population(nodes int) (*sim.Population, sim.TransitivitySetup) {
+	net := socialgen.Generate(Profile(nodes), Seed)
+	p := sim.NewPopulation(net, sim.DefaultPopulationConfig(Seed))
+	r := p.Rand("bench-rounds")
+	setup := sim.DefaultTransitivitySetup(5, r)
+	setup.MaxDepth = 3
+	sim.SeedExperience(p, setup, r)
+	return p, setup
+}

@@ -1,0 +1,318 @@
+package core
+
+import (
+	"math"
+	"slices"
+	"sync"
+
+	"siot/internal/task"
+)
+
+// This file is the frozen-epoch counterpart of the map-based search in
+// transit.go: the same BFS, rewritten over dense generation-stamped arrays
+// indexed by agent slot and fed by a TrustView (and optionally an EdgeMemo).
+// transit.go's map path remains the reference implementation — the
+// equivalence tests in sim assert byte-identical SearchResults between the
+// two on randomized populations.
+
+// frontSet is one BFS frontier as a dense value array plus the ordered ID
+// list that replaces sorting map keys: IDs are appended on first discovery
+// and sorted once per depth, so iteration order matches the legacy
+// appendSortedIDs order exactly.
+type frontSet struct {
+	stamp []uint32
+	val   []float64
+	ids   []AgentID
+	cur   uint32
+}
+
+func (f *frontSet) ensure(n int) {
+	if len(f.stamp) < n {
+		f.stamp = append(f.stamp, make([]uint32, n-len(f.stamp))...)
+		f.val = append(f.val, make([]float64, n-len(f.val))...)
+	}
+}
+
+func (f *frontSet) reset(stamp uint32) {
+	f.cur = stamp
+	f.ids = f.ids[:0]
+}
+
+// add inserts or max-merges (v, val), mirroring the map path's
+// "if cur, seen := m[v]; !seen || val > cur" update.
+func (f *frontSet) add(v AgentID, val float64) {
+	if f.stamp[v] != f.cur {
+		f.stamp[v] = f.cur
+		f.val[v] = val
+		f.ids = append(f.ids, v)
+	} else if val > f.val[v] {
+		f.val[v] = val
+	}
+}
+
+// denseState is the pooled scratch state of one FindView call. Membership of
+// every set (inquired, best, frontiers, per-characteristic bests) is encoded
+// as a generation stamp, so "clearing" a set is a counter increment instead
+// of an O(n) wipe, and a warmed pool entry serves any number of searches
+// without allocating.
+type denseState struct {
+	stamp    uint32
+	inqStamp []uint32
+	inqCur   uint32
+	inqCount int
+
+	bestStamp []uint32
+	bestVal   []float64
+	bestCur   uint32
+	candIDs   []AgentID
+
+	fr [2]frontSet
+
+	// Aggressive policy: one best-value layer per task characteristic, plus
+	// the discovery list of characteristic 0 (a node unreached by the first
+	// characteristic can never satisfy the full-coverage rule of eq. 12).
+	charStamp [][]uint32
+	charVal   [][]float64
+	charCur   []uint32
+	char0IDs  []AgentID
+
+	n int
+}
+
+var densePool = sync.Pool{New: func() any { return &denseState{} }}
+
+// stampHeadroom bounds the stamps one FindView call can consume: two
+// singleton sets plus, per characteristic layer, a best set and one frontier
+// set per depth. 1<<16 covers any plausible depth × alphabet product.
+const stampHeadroom = 1 << 16
+
+// acquireDense returns a pooled state sized for n agent slots with enough
+// stamp headroom that the counter cannot wrap mid-search.
+func acquireDense(n int) *denseState {
+	st := densePool.Get().(*denseState)
+	if st.n < n {
+		st.inqStamp = append(st.inqStamp, make([]uint32, n-st.n)...)
+		st.bestStamp = append(st.bestStamp, make([]uint32, n-st.n)...)
+		st.bestVal = append(st.bestVal, make([]float64, n-st.n)...)
+		st.fr[0].ensure(n)
+		st.fr[1].ensure(n)
+		for i := range st.charStamp {
+			st.charStamp[i] = append(st.charStamp[i], make([]uint32, n-st.n)...)
+			st.charVal[i] = append(st.charVal[i], make([]float64, n-st.n)...)
+		}
+		st.n = n
+	}
+	if st.stamp > math.MaxUint32-stampHeadroom {
+		clear(st.inqStamp)
+		clear(st.bestStamp)
+		clear(st.fr[0].stamp)
+		clear(st.fr[1].stamp)
+		for i := range st.charStamp {
+			clear(st.charStamp[i])
+		}
+		st.stamp = 0
+	}
+	return st
+}
+
+// nextStamp mints a fresh set identity (never 0: zeroed arrays mean "in no
+// set").
+func (st *denseState) nextStamp() uint32 {
+	st.stamp++
+	return st.stamp
+}
+
+// ensureChars grows the per-characteristic layers to hold k characteristics.
+func (st *denseState) ensureChars(k int) {
+	for len(st.charStamp) < k {
+		st.charStamp = append(st.charStamp, make([]uint32, st.n))
+		st.charVal = append(st.charVal, make([]float64, st.n))
+	}
+	if len(st.charCur) < k {
+		st.charCur = append(st.charCur, make([]uint32, k-len(st.charCur))...)
+	}
+}
+
+// markInquired counts v once per search.
+func (st *denseState) markInquired(v AgentID) {
+	if st.inqStamp[v] != st.inqCur {
+		st.inqStamp[v] = st.inqCur
+		st.inqCount++
+	}
+}
+
+// FindView is Find over a frozen TrustView: the same search semantics and
+// bit-identical results, reading captured CSR memory instead of live locked
+// stores. memo may be nil, in which case hop values are computed from the
+// view's record arena per hop (lock-free but unmemoized); with a Required
+// EdgeMemo every hop is a single array lookup.
+//
+// FindView is safe for concurrent use: the view and memo are read-only and
+// each call draws its scratch state from a pool.
+func (s *Searcher) FindView(view *TrustView, memo *EdgeMemo, trustor AgentID, t task.Task, p Policy) SearchResult {
+	var res SearchResult
+	s.FindViewInto(&res, view, memo, trustor, t, p)
+	return res
+}
+
+// FindViewInto is FindView writing into res, reusing res.Candidates'
+// capacity so a caller that recycles results allocates nothing after
+// warmup.
+func (s *Searcher) FindViewInto(res *SearchResult, view *TrustView, memo *EdgeMemo, trustor AgentID, t task.Task, p Policy) {
+	st := acquireDense(view.NumAgents())
+	switch p {
+	case PolicyAggressive:
+		s.findAggressiveView(res, view, memo, trustor, t, st)
+	default:
+		s.findSerialView(res, view, memo.typeTable(p, t), trustor, t, p, st)
+	}
+	densePool.Put(st)
+}
+
+// findSerialView runs the single-path policies (traditional, conservative)
+// over the view. vals, when non-nil, is the memoized per-edge hop table.
+func (s *Searcher) findSerialView(res *SearchResult, view *TrustView, vals []float64, trustor AgentID, t task.Task, p Policy, st *denseState) {
+	traditional := p == PolicyTraditional
+	st.inqCur = st.nextStamp()
+	st.inqCount = 0
+	st.bestCur = st.nextStamp()
+	st.candIDs = st.candIDs[:0]
+	adjOff, adjTo := view.adjOff, view.adjTo
+	cur, nxt := &st.fr[0], &st.fr[1]
+	cur.reset(st.nextStamp())
+	cur.add(trustor, 1)
+	for depth := 1; depth <= s.MaxDepth && len(cur.ids) > 0; depth++ {
+		nxt.reset(st.nextStamp())
+		relay := depth < s.MaxDepth
+		for _, u := range cur.ids {
+			uval := cur.val[u]
+			base := adjOff[u]
+			for k, v := range adjTo[base:adjOff[u+1]] {
+				if v == trustor {
+					continue
+				}
+				var hop float64
+				var ok bool
+				if vals != nil {
+					hop = vals[int(base)+k]
+					ok = !math.IsNaN(hop)
+				} else {
+					hop, ok = s.hopTW(view.EdgeRecords(base+int32(k)), t, p)
+				}
+				if !ok {
+					continue
+				}
+				st.markInquired(v)
+				var val float64
+				if traditional {
+					val = uval * hop
+				} else {
+					val = CombinePair(uval, hop)
+				}
+				if s.passTrustee(p, hop) && s.isCandidate(v) {
+					if st.bestStamp[v] != st.bestCur {
+						st.bestStamp[v] = st.bestCur
+						st.bestVal[v] = val
+						st.candIDs = append(st.candIDs, v)
+					} else if val > st.bestVal[v] {
+						st.bestVal[v] = val
+					}
+				}
+				if relay && s.passRecommender(p, hop) {
+					nxt.add(v, val)
+				}
+			}
+		}
+		cur, nxt = nxt, cur
+		slices.Sort(cur.ids)
+	}
+	res.Candidates = res.Candidates[:0]
+	for _, v := range st.candIDs {
+		res.Candidates = append(res.Candidates, Candidate{ID: v, TW: st.bestVal[v]})
+	}
+	SortCandidates(res.Candidates)
+	res.Inquired = st.inqCount
+}
+
+// findAggressiveView runs the per-characteristic propagation (eqs. 12–17)
+// over the view, one stamped best-value layer per characteristic.
+func (s *Searcher) findAggressiveView(res *SearchResult, view *TrustView, memo *EdgeMemo, trustor AgentID, t task.Task, st *denseState) {
+	chars := t.Characteristics()
+	st.ensureChars(len(chars))
+	st.inqCur = st.nextStamp()
+	st.inqCount = 0
+	st.char0IDs = st.char0IDs[:0]
+	adjOff, adjTo := view.adjOff, view.adjTo
+	for ci, c := range chars {
+		vals := memo.charTable(c)
+		bStamp, bVal := st.charStamp[ci], st.charVal[ci]
+		bCur := st.nextStamp()
+		st.charCur[ci] = bCur
+		cur, nxt := &st.fr[0], &st.fr[1]
+		cur.reset(st.nextStamp())
+		cur.add(trustor, 1)
+		for depth := 1; depth <= s.MaxDepth && len(cur.ids) > 0; depth++ {
+			nxt.reset(st.nextStamp())
+			relay := depth < s.MaxDepth
+			for _, u := range cur.ids {
+				uval := cur.val[u]
+				base := adjOff[u]
+				for k, v := range adjTo[base:adjOff[u+1]] {
+					if v == trustor {
+						continue
+					}
+					var hop float64
+					var ok bool
+					if vals != nil {
+						hop = vals[int(base)+k]
+						ok = !math.IsNaN(hop)
+					} else {
+						hop, ok = CharTW(view.EdgeRecords(base+int32(k)), c, s.Norm)
+					}
+					if !ok {
+						continue
+					}
+					st.markInquired(v)
+					val := CombinePair(uval, hop)
+					if s.isCandidate(v) {
+						if bStamp[v] != bCur {
+							bStamp[v] = bCur
+							bVal[v] = val
+							if ci == 0 {
+								st.char0IDs = append(st.char0IDs, v)
+							}
+						} else if val > bVal[v] {
+							bVal[v] = val
+						}
+					}
+					if relay && hop >= s.Omega1 {
+						nxt.add(v, val)
+					}
+				}
+			}
+			cur, nxt = nxt, cur
+			slices.Sort(cur.ids)
+		}
+	}
+	// Combine per-characteristic estimates with the task weights (eq. 17),
+	// requiring full coverage (eq. 12); ω2 applies to the task-level value
+	// (eq. 11). Iterating characteristic 0's discovery list visits exactly
+	// the keys the legacy path's perChar[0] map holds.
+	weights := t.Weights()
+	res.Candidates = res.Candidates[:0]
+	for _, v := range st.char0IDs {
+		tw, ok := 0.0, true
+		for ci := range chars {
+			if st.charStamp[ci][v] != st.charCur[ci] {
+				ok = false
+				break
+			}
+			tw += weights[ci] * st.charVal[ci][v]
+		}
+		if ok && tw >= s.Omega2 {
+			res.Candidates = append(res.Candidates, Candidate{ID: v, TW: tw})
+		}
+	}
+	SortCandidates(res.Candidates)
+	res.Inquired = st.inqCount
+}

@@ -1,6 +1,9 @@
 package core
 
-import "sort"
+import (
+	"cmp"
+	"slices"
+)
 
 // Candidate pairs a potential trustee with the trustworthiness the trustor
 // perceives for the task at hand.
@@ -10,13 +13,14 @@ type Candidate struct {
 }
 
 // SortCandidates orders candidates by decreasing trustworthiness, breaking
-// ties by ascending ID for determinism.
+// ties by ascending ID for determinism. It allocates nothing, keeping the
+// search hot path pool-warm clean.
 func SortCandidates(cands []Candidate) {
-	sort.Slice(cands, func(i, j int) bool {
-		if cands[i].TW != cands[j].TW {
-			return cands[i].TW > cands[j].TW
+	slices.SortFunc(cands, func(a, b Candidate) int {
+		if c := cmp.Compare(b.TW, a.TW); c != 0 {
+			return c
 		}
-		return cands[i].ID < cands[j].ID
+		return cmp.Compare(a.ID, b.ID)
 	})
 }
 

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"cmp"
 	"slices"
 	"sync"
 
@@ -75,7 +76,7 @@ func (s *Store) shard(trustee AgentID) *storeShard {
 // searchRecord locates the record for typ in a sorted-by-type record slice.
 func searchRecord(recs []Record, typ task.Type) (int, bool) {
 	return slices.BinarySearchFunc(recs, typ, func(r Record, t task.Type) int {
-		return int(r.Task.Type()) - int(t)
+		return cmp.Compare(r.Task.Type(), t)
 	})
 }
 
@@ -279,7 +280,7 @@ func (s *Store) usageSorted() []usageSnapshot {
 	for id, l := range s.usage {
 		out = append(out, usageSnapshot{Trustor: id, Responsible: l.Responsible, Abusive: l.Abusive})
 	}
-	slices.SortFunc(out, func(a, b usageSnapshot) int { return int(a.Trustor) - int(b.Trustor) })
+	slices.SortFunc(out, func(a, b usageSnapshot) int { return cmp.Compare(a.Trustor, b.Trustor) })
 	return out
 }
 

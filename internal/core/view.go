@@ -1,0 +1,256 @@
+package core
+
+import (
+	"math"
+	"sync"
+
+	"siot/internal/task"
+)
+
+// TrustView is a frozen-epoch snapshot of the trust state the transitivity
+// search reads: a CSR adjacency shared with the population plus a flat
+// []Record arena holding, for every directed social edge (u, v), the records
+// u keeps about v at capture time.
+//
+// The search hot loop is pure — it only ever reads (holder, neighbor) record
+// slices — so capturing them once per sweep lets every BFS run over
+// contiguous memory with zero locks and zero per-hop copies, where the live
+// path takes an RWMutex RLock and copies records into a scratch buffer on
+// every hop.
+//
+// A view is valid for as long as the underlying stores are not mutated: the
+// pure compute phases (TransitivityRun sweeps) qualify; mutuality rounds,
+// which interleave reads with store updates, do not and keep reading live
+// stores. Concurrent readers are safe; the view is never written after
+// capture.
+type TrustView struct {
+	adjOff []int32   // CSR row offsets, len NumAgents+1 (shared, not owned)
+	adjTo  []AgentID // CSR edge targets (shared, not owned)
+	recOff []int32   // per-edge spans into recs, len len(adjTo)+1
+	recs   []Record  // record arena, grouped by directed edge
+}
+
+// CaptureTrustView freezes the per-edge records of a population into a view.
+// adjOff/adjTo describe the CSR adjacency over dense agent IDs in
+// [0, len(adjOff)-1); appendRecords must append holder's records about a
+// neighbor to buf and return the extended slice (Store.AppendRecords). The
+// adjacency slices are borrowed, not copied: they must stay immutable for
+// the lifetime of the view.
+func CaptureTrustView(adjOff []int32, adjTo []AgentID, appendRecords func(holder, about AgentID, buf []Record) []Record) *TrustView {
+	v := &TrustView{
+		adjOff: adjOff,
+		adjTo:  adjTo,
+		recOff: make([]int32, len(adjTo)+1),
+		recs:   make([]Record, 0, len(adjTo)),
+	}
+	n := len(adjOff) - 1
+	e := 0
+	for u := 0; u < n; u++ {
+		for _, w := range adjTo[adjOff[u]:adjOff[u+1]] {
+			v.recs = appendRecords(AgentID(u), w, v.recs)
+			e++
+			v.recOff[e] = int32(len(v.recs))
+		}
+	}
+	return v
+}
+
+// NumAgents returns the number of dense agent slots.
+func (v *TrustView) NumAgents() int { return len(v.adjOff) - 1 }
+
+// NumEdges returns the number of directed edges.
+func (v *TrustView) NumEdges() int { return len(v.adjTo) }
+
+// Neighbors returns the frozen neighbor list of u. The slice is shared and
+// must not be modified.
+func (v *TrustView) Neighbors(u AgentID) []AgentID {
+	return v.adjTo[v.adjOff[u]:v.adjOff[u+1]]
+}
+
+// EdgeRecords returns the captured records of directed edge e (an index into
+// the CSR edge array). The slice aliases the arena and must not be modified.
+func (v *TrustView) EdgeRecords(e int32) []Record {
+	return v.recs[v.recOff[e]:v.recOff[e+1]]
+}
+
+// blocked is the sentinel for "hop not admissible" in memo tables. Record
+// trustworthiness is always finite (Expectation.Validate rejects NaN), so
+// NaN is free to carry the ok=false case.
+var blocked = math.NaN()
+
+// EdgeMemo caches per-edge hop trustworthiness over a TrustView for one
+// sweep. A transitivity sweep fires one independent BFS per trustor over the
+// same frozen stores, so the hop value of edge (u, v) — which depends only
+// on the edge's records and the (task, policy) pair — is recomputed up to
+// N-trustors times on the live path. The memo computes each needed table
+// once, in a parallel pre-pass over the CSR edges, turning the BFS inner
+// loop into a single array lookup.
+//
+// Tables are keyed by task type (traditional, conservative) or by
+// characteristic (aggressive; per-characteristic values are shared by every
+// task containing the characteristic). Require must be called before the
+// parallel search phase; afterwards all lookups are pure reads and safe for
+// concurrent use.
+type EdgeMemo struct {
+	view    *TrustView
+	norm    Normalizer
+	workers int
+	// tradVal[t][e] is the exact-type record trustworthiness of edge e
+	// (eq. 5's per-hop value); blocked when the edge has no record of t.
+	// The traditional hop depends on the task only through its type, so
+	// the type alone is a sound key.
+	tradVal map[task.Type][]float64
+	// consVal[t][e] is the conservative inferred hop value of edge e
+	// (eqs. 8–10); blocked when the edge's records do not cover the task.
+	// The inferred value depends on the task's full characteristic/weight
+	// set, not just its type, so consTask remembers which task each table
+	// was built for and typeTable declines to serve a same-type task with
+	// different contents (the search then computes hops from the arena —
+	// slower but correct).
+	consVal  map[task.Type][]float64
+	consTask map[task.Type]task.Task
+	// charVal[c][e] is CharTW of edge e for one characteristic (the inner
+	// fraction of eq. 4); blocked when no record covers the characteristic.
+	charVal map[task.Characteristic][]float64
+}
+
+// NewEdgeMemo creates an empty memo over a view. workers bounds the
+// pre-pass parallelism (values below 1 run serially).
+func NewEdgeMemo(view *TrustView, norm Normalizer, workers int) *EdgeMemo {
+	return &EdgeMemo{
+		view:     view,
+		norm:     norm,
+		workers:  workers,
+		tradVal:  make(map[task.Type][]float64),
+		consVal:  make(map[task.Type][]float64),
+		consTask: make(map[task.Type]task.Task),
+		charVal:  make(map[task.Characteristic][]float64),
+	}
+}
+
+// Require precomputes every table the given policy needs to search for the
+// given tasks: per-type tables for traditional and conservative, per-
+// characteristic tables for aggressive. It must not run concurrently with
+// searches; tables already present are reused (an epoch can Require for
+// several policies in turn and share the work where semantics overlap).
+func (m *EdgeMemo) Require(p Policy, tasks []task.Task) {
+	switch p {
+	case PolicyTraditional:
+		for _, t := range tasks {
+			if _, ok := m.tradVal[t.Type()]; ok {
+				continue
+			}
+			typ := t.Type()
+			m.tradVal[typ] = m.table(func(recs []Record) (float64, bool) {
+				for _, r := range recs {
+					if r.Task.Type() == typ {
+						return r.TW(m.norm), true
+					}
+				}
+				return 0, false
+			})
+		}
+	case PolicyConservative:
+		for _, t := range tasks {
+			if prev, ok := m.consTask[t.Type()]; ok && sameTask(prev, t) {
+				continue
+			}
+			t := t
+			m.consVal[t.Type()] = m.table(func(recs []Record) (float64, bool) {
+				return InferFromRecords(recs, t, m.norm)
+			})
+			m.consTask[t.Type()] = t
+		}
+	case PolicyAggressive:
+		for _, t := range tasks {
+			for _, c := range t.Characteristics() {
+				if _, ok := m.charVal[c]; ok {
+					continue
+				}
+				c := c
+				m.charVal[c] = m.table(func(recs []Record) (float64, bool) {
+					return CharTW(recs, c, m.norm)
+				})
+			}
+		}
+	}
+}
+
+// typeTable returns the per-edge hop table for (t, p), or nil when Require
+// has not built it (the search then falls back to computing hops from the
+// arena records, which is still lock-free and bit-identical).
+func (m *EdgeMemo) typeTable(p Policy, t task.Task) []float64 {
+	if m == nil {
+		return nil
+	}
+	if p == PolicyTraditional {
+		return m.tradVal[t.Type()]
+	}
+	if prev, ok := m.consTask[t.Type()]; !ok || !sameTask(prev, t) {
+		return nil
+	}
+	return m.consVal[t.Type()]
+}
+
+// sameTask reports whether two tasks carry the same characteristic bag and
+// weights (types already match by construction of the lookup).
+func sameTask(a, b task.Task) bool {
+	ac, bc := a.Characteristics(), b.Characteristics()
+	if len(ac) != len(bc) {
+		return false
+	}
+	aw, bw := a.Weights(), b.Weights()
+	for i := range ac {
+		if ac[i] != bc[i] || aw[i] != bw[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// charTable returns the per-edge CharTW table for c, or nil when absent.
+func (m *EdgeMemo) charTable(c task.Characteristic) []float64 {
+	if m == nil {
+		return nil
+	}
+	return m.charVal[c]
+}
+
+// table evaluates compute over every edge's records in parallel chunks.
+func (m *EdgeMemo) table(compute func(recs []Record) (float64, bool)) []float64 {
+	ne := m.view.NumEdges()
+	vals := make([]float64, ne)
+	fill := func(lo, hi int) {
+		for e := lo; e < hi; e++ {
+			val, ok := compute(m.view.EdgeRecords(int32(e)))
+			if !ok {
+				val = blocked
+			}
+			vals[e] = val
+		}
+	}
+	workers := m.workers
+	if workers > ne/1024 {
+		// Below ~1k edges per worker the goroutine overhead dominates.
+		workers = ne / 1024
+	}
+	if workers <= 1 {
+		fill(0, ne)
+		return vals
+	}
+	var wg sync.WaitGroup
+	chunk := (ne + workers - 1) / workers
+	for lo := 0; lo < ne; lo += chunk {
+		hi := lo + chunk
+		if hi > ne {
+			hi = ne
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fill(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+	return vals
+}

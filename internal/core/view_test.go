@@ -1,0 +1,75 @@
+package core
+
+import (
+	"testing"
+
+	"siot/internal/task"
+)
+
+// tinyView builds a 3-agent path graph 0—1—2 where agent 0 holds one record
+// about agent 1 for the given task.
+func tinyView(t *testing.T, tk task.Task) *TrustView {
+	t.Helper()
+	adjOff := []int32{0, 1, 3, 4}
+	adjTo := []AgentID{1, 0, 2, 1}
+	store := map[[2]AgentID][]Record{
+		{0, 1}: {{Task: tk, Exp: Expectation{S: 0.9, G: 0.9, D: 0.1}, Count: 1}},
+	}
+	return CaptureTrustView(adjOff, adjTo, func(holder, about AgentID, buf []Record) []Record {
+		return append(buf, store[[2]AgentID{holder, about}]...)
+	})
+}
+
+// TestEdgeMemoConservativeTaskGuard: the conservative table is only valid
+// for the exact task it was built from. A same-type task with different
+// characteristics must not be served a stale table (typeTable returns nil
+// and the search falls back to arena records), and Require for the new
+// task must rebuild the table.
+func TestEdgeMemoConservativeTaskGuard(t *testing.T) {
+	taskA := task.Uniform(3, task.CharGPS)
+	taskB := task.Uniform(3, task.CharImage) // same type, different bag
+	view := tinyView(t, taskA)
+	memo := NewEdgeMemo(view, UnitNormalizer(), 1)
+
+	memo.Require(PolicyConservative, []task.Task{taskA})
+	if memo.typeTable(PolicyConservative, taskA) == nil {
+		t.Fatal("table for the required task missing")
+	}
+	if got := memo.typeTable(PolicyConservative, taskB); got != nil {
+		t.Fatalf("same-type different-content task served a stale table: %v", got)
+	}
+
+	memo.Require(PolicyConservative, []task.Task{taskB})
+	if memo.typeTable(PolicyConservative, taskB) == nil {
+		t.Fatal("table not rebuilt for the new task contents")
+	}
+	// The rebuilt table must block edge (0,1): the record covers GPS, not
+	// Image.
+	vals := memo.typeTable(PolicyConservative, taskB)
+	if _, ok := InferFromRecords(view.EdgeRecords(0), taskB, UnitNormalizer()); ok {
+		t.Fatal("fixture broken: taskB should not be inferable from a GPS record")
+	}
+	if !isBlocked(vals[0]) {
+		t.Fatalf("edge (0,1) should be blocked for taskB, got %v", vals[0])
+	}
+}
+
+func isBlocked(v float64) bool { return v != v }
+
+// TestEdgeMemoTraditionalTypeKey: the traditional hop depends on the task
+// only through its type, so same-type tasks legitimately share a table.
+func TestEdgeMemoTraditionalTypeKey(t *testing.T) {
+	taskA := task.Uniform(3, task.CharGPS)
+	taskB := task.Uniform(3, task.CharImage)
+	view := tinyView(t, taskA)
+	memo := NewEdgeMemo(view, UnitNormalizer(), 1)
+	memo.Require(PolicyTraditional, []task.Task{taskA})
+	got := memo.typeTable(PolicyTraditional, taskB)
+	if got == nil {
+		t.Fatal("traditional table should be shared across same-type tasks")
+	}
+	want := (Record{Task: taskA, Exp: Expectation{S: 0.9, G: 0.9, D: 0.1}}).TW(UnitNormalizer())
+	if got[0] != want {
+		t.Fatalf("edge (0,1) traditional value = %v, want %v", got[0], want)
+	}
+}

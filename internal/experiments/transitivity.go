@@ -73,8 +73,12 @@ func RunTransitivitySweep(cfg TransitivityConfig) TransitivityResult {
 				setup.MaxDepth = cfg.MaxDepth
 				sim.SeedExperience(p, setup, r)
 				eng := sim.NewEngine(p, "figs9-11")
+				// One frozen-epoch capture serves all three policies: the
+				// searches are pure, so the stores cannot change between
+				// runs within a rep.
+				ep := eng.TransitivityEpoch(setup)
 				for _, pol := range policies {
-					st := eng.TransitivityRun(setup, pol, repSeed)
+					st := ep.Run(pol, repSeed)
 					merge(agg[pol], st)
 				}
 			}
@@ -249,9 +253,10 @@ func RunFig12(cfg Fig12Config) Fig12Result {
 	sim.SeedExperience(p, setup, r)
 
 	eng := sim.NewEngine(p, "fig12")
+	ep := eng.TransitivityEpoch(setup)
 	res := Fig12Result{PerPolicy: map[core.Policy][]int{}}
 	for _, pol := range policies {
-		st := eng.TransitivityRun(setup, pol, cfg.Seed)
+		st := ep.Run(pol, cfg.Seed)
 		counts := append([]int(nil), st.InquiredPerTrustor...)
 		sort.Ints(counts)
 		res.PerPolicy[pol] = counts
@@ -365,8 +370,9 @@ func RunTable2(cfg Table2Config) Table2Result {
 			setup.MaxDepth = cfg.MaxDepth
 			sim.SeedExperienceFromFeatures(p, setup, r)
 			eng := sim.NewEngine(p, "table2")
+			ep := eng.TransitivityEpoch(setup)
 			for _, pol := range policies {
-				st := eng.TransitivityRun(setup, pol, repSeed)
+				st := ep.Run(pol, repSeed)
 				merge(agg[pol], st)
 			}
 		}

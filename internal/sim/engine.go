@@ -314,40 +314,18 @@ func (e *Engine) NetProfitRun(iterations int, strategy Strategy, seed uint64) []
 // dominant cost of the §5.5 experiments — over the worker pool. Unlike the
 // mutuality and net-profit rounds, the search phase is pure, so this path
 // is bit-identical to the legacy serial implementation for every
-// Parallelism value.
+// Parallelism value. Each call captures a fresh frozen-epoch snapshot
+// (TransitivityEpoch); callers running several policies over unchanged
+// stores should capture one epoch and Run it repeatedly.
 func (e *Engine) TransitivityRun(setup TransitivitySetup, policy core.Policy, seed uint64) TransitivityStats {
 	return transitivityRun(e.Pop, setup, policy, seed, e.workers())
 }
 
-// transitivityRun pre-draws the per-trustor task sequence from the shared
-// stream (matching the legacy serial order), fans the searches out over the
-// pool, and merges counters and outcome draws in ascending trustor order.
+// transitivityRun captures a frozen epoch and plays one run on it: the
+// per-trustor task sequence is pre-drawn from the shared stream (matching
+// the legacy serial order), the searches fan out over the pool against the
+// snapshot, and counters and outcome draws merge in ascending trustor
+// order.
 func transitivityRun(p *Population, setup TransitivitySetup, policy core.Policy, seed uint64, workers int) TransitivityStats {
-	s := p.Searcher(setup.MaxDepth, setup.Omega1, setup.Omega2)
-	taskRng := rng.New(seed, "transitivity-tasks", p.Net.Profile.Name)
-	tasks := make([]task.Task, len(p.Trustors))
-	for i := range tasks {
-		tasks[i] = setup.Universe.Random(taskRng)
-	}
-	results := mapTrustors(p.Trustors, workers, func(i int, x core.AgentID) core.SearchResult {
-		return s.Find(x, tasks[i], policy)
-	})
-	outcomeRng := rng.New(seed, "transitivity-outcomes", p.Net.Profile.Name, policy.String())
-	var st TransitivityStats
-	for i := range p.Trustors {
-		res := results[i]
-		st.Requests++
-		st.PotentialTrustees += len(res.Candidates)
-		st.InquiredPerTrustor = append(st.InquiredPerTrustor, res.Inquired)
-		best, ok := res.Best()
-		if !ok {
-			st.Unavailable++
-			continue
-		}
-		capability := p.Agent(best.ID).Behavior.TaskCompetence(tasks[i])
-		if outcomeRng.Float64() < capability {
-			st.Successes++
-		}
-	}
-	return st
+	return newTransitivityEpoch(p, setup, workers).Run(policy, seed)
 }

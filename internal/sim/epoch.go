@@ -1,0 +1,101 @@
+package sim
+
+import (
+	"sync"
+
+	"siot/internal/core"
+	"siot/internal/rng"
+	"siot/internal/task"
+)
+
+// TransitivityEpoch is one frozen-epoch read context for transitivity
+// sweeps: a TrustView captured from the population's live stores plus an
+// EdgeMemo of per-edge hop values, shared by every search run against it.
+//
+// The search phase of a transitivity run is pure — no store is written — so
+// a single capture serves any number of Run calls across policies and
+// seeds, and the per-characteristic memo tables built for one policy are
+// reused by the next. The epoch goes stale as soon as the stores mutate
+// (a mutuality round, a seeding pass, identity churn); capture a fresh one
+// after any such phase. Mutuality rounds themselves keep reading live
+// stores: they interleave reads with writes inside one round, which is
+// exactly the access pattern a frozen view cannot represent.
+type TransitivityEpoch struct {
+	p       *Population
+	setup   TransitivitySetup
+	s       *core.Searcher
+	view    *core.TrustView
+	memo    *core.EdgeMemo
+	workers int
+}
+
+// TransitivityEpoch captures the engine population's stores for a sweep
+// under the given setup.
+func (e *Engine) TransitivityEpoch(setup TransitivitySetup) *TransitivityEpoch {
+	return newTransitivityEpoch(e.Pop, setup, e.workers())
+}
+
+func newTransitivityEpoch(p *Population, setup TransitivitySetup, workers int) *TransitivityEpoch {
+	view := p.TrustView()
+	return &TransitivityEpoch{
+		p:       p,
+		setup:   setup,
+		s:       p.Searcher(setup.MaxDepth, setup.Omega1, setup.Omega2),
+		view:    view,
+		memo:    core.NewEdgeMemo(view, p.cfg.Update.Norm, workers),
+		workers: workers,
+	}
+}
+
+// findSummary is the per-trustor digest a transitivity run keeps: the full
+// candidate list dies with the pooled SearchResult, so the sweep allocates
+// nothing per search after warmup.
+type findSummary struct {
+	candidates int
+	inquired   int
+	best       core.Candidate
+	found      bool
+}
+
+var resultPool = sync.Pool{New: func() any { return new(core.SearchResult) }}
+
+// Run plays one transitivity run over the frozen epoch: identical semantics
+// and bit-identical statistics to the live-store path, with hop values
+// served from the memo tables. Safe to call repeatedly (the memo fills
+// lazily per policy and task set); not safe concurrently with itself.
+func (ep *TransitivityEpoch) Run(policy core.Policy, seed uint64) TransitivityStats {
+	p := ep.p
+	taskRng := rng.New(seed, "transitivity-tasks", p.Net.Profile.Name)
+	tasks := make([]task.Task, len(p.Trustors))
+	for i := range tasks {
+		tasks[i] = ep.setup.Universe.Random(taskRng)
+	}
+	// Pre-pass: memoize every per-edge hop value the searches will read, in
+	// parallel over the CSR edge array, before the read-only fan-out.
+	ep.memo.Require(policy, tasks)
+	results := mapTrustors(p.Trustors, ep.workers, func(i int, x core.AgentID) findSummary {
+		res := resultPool.Get().(*core.SearchResult)
+		ep.s.FindViewInto(res, ep.view, ep.memo, x, tasks[i], policy)
+		sum := findSummary{candidates: len(res.Candidates), inquired: res.Inquired}
+		sum.best, sum.found = res.Best()
+		resultPool.Put(res)
+		return sum
+	})
+	outcomeRng := rng.New(seed, "transitivity-outcomes", p.Net.Profile.Name, policy.String())
+	var st TransitivityStats
+	for i := range p.Trustors {
+		res := results[i]
+		st.Requests++
+		st.PotentialTrustees += res.candidates
+		st.InquiredPerTrustor = append(st.InquiredPerTrustor, res.inquired)
+		if !res.found {
+			st.Unavailable++
+			continue
+		}
+		capability := p.Agent(res.best.ID).Behavior.TaskCompetence(tasks[i])
+		if outcomeRng.Float64() < capability {
+			st.Successes++
+		}
+	}
+	return st
+}

@@ -8,6 +8,7 @@ package sim
 import (
 	"fmt"
 	"math/rand/v2"
+	"slices"
 
 	"siot/internal/agent"
 	"siot/internal/core"
@@ -64,6 +65,17 @@ type Population struct {
 	Attackers []core.AgentID
 	attackers map[core.AgentID]bool
 	cfg       PopulationConfig
+
+	// CSR adjacency over agent IDs, built once at population construction
+	// (the social graph is frozen from then on): adjOff/adjTo mirror the
+	// graph, trusteeOff/trusteeTo keep only trustee-kind targets, and
+	// candMask flags trustee-kind agents by dense slot. Neighbor queries
+	// hand out shared subslices with zero per-call allocation.
+	adjOff     []int32
+	adjTo      []core.AgentID
+	trusteeOff []int32
+	trusteeTo  []core.AgentID
+	candMask   []bool
 }
 
 // NewPopulation assigns roles and behaviors over the given social network.
@@ -115,14 +127,40 @@ func NewPopulation(net *socialgen.Network, cfg PopulationConfig) *Population {
 	if cfg.Attack.Enabled() {
 		p.installAttackers()
 	}
+	p.buildCSR()
 	return p
 }
 
 func sortIDs(ids []core.AgentID) {
-	for i := 1; i < len(ids); i++ {
-		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
-			ids[j], ids[j-1] = ids[j-1], ids[j]
+	slices.Sort(ids)
+}
+
+// buildCSR flattens the graph adjacency into shared CSR arrays and derives
+// the trustee-filtered variant plus the dense candidate mask. It runs after
+// role assignment (and attacker installation — both trustee kinds count as
+// candidates, so the mask is stable under the attack subsystem's kind flip).
+func (p *Population) buildCSR() {
+	g := p.Net.Graph
+	n := g.NumNodes()
+	p.adjOff = make([]int32, n+1)
+	p.adjTo = make([]core.AgentID, 0, 2*g.NumEdges())
+	p.candMask = make([]bool, n)
+	for u := 0; u < n; u++ {
+		for _, v := range g.Neighbors(graph.NodeID(u)) {
+			p.adjTo = append(p.adjTo, core.AgentID(v))
 		}
+		p.adjOff[u+1] = int32(len(p.adjTo))
+		k := p.Agents[u].Kind
+		p.candMask[u] = k == agent.KindTrustee || k == agent.KindDishonestTrustee
+	}
+	p.trusteeOff = make([]int32, n+1)
+	for u := 0; u < n; u++ {
+		for _, v := range p.adjTo[p.adjOff[u]:p.adjOff[u+1]] {
+			if p.candMask[v] {
+				p.trusteeTo = append(p.trusteeTo, v)
+			}
+		}
+		p.trusteeOff[u+1] = int32(len(p.trusteeTo))
 	}
 }
 
@@ -137,27 +175,18 @@ func (p *Population) Rand(label string) *rand.Rand {
 	return rng.New(p.cfg.Seed, "sim", p.Net.Profile.Name, label)
 }
 
-// Neighbors returns the social neighbors of an agent.
+// Neighbors returns the social neighbors of an agent. The slice is a shared
+// view into the population's CSR adjacency and must not be modified.
 func (p *Population) Neighbors(id core.AgentID) []core.AgentID {
-	nbrs := p.Net.Graph.Neighbors(graph.NodeID(id))
-	out := make([]core.AgentID, len(nbrs))
-	for i, v := range nbrs {
-		out[i] = core.AgentID(v)
-	}
-	return out
+	return p.adjTo[p.adjOff[id]:p.adjOff[id+1]]
 }
 
 // TrusteeNeighbors returns the trustee-kind neighbors of an agent — the
 // direct candidate set used by the mutuality and net-profit experiments.
+// The slice is a shared view into the trustee-filtered CSR adjacency and
+// must not be modified.
 func (p *Population) TrusteeNeighbors(id core.AgentID) []core.AgentID {
-	var out []core.AgentID
-	for _, v := range p.Neighbors(id) {
-		k := p.Agents[v].Kind
-		if k == agent.KindTrustee || k == agent.KindDishonestTrustee {
-			out = append(out, v)
-		}
-	}
-	return out
+	return p.trusteeTo[p.trusteeOff[id]:p.trusteeOff[id+1]]
 }
 
 // Searcher builds a transitivity searcher over the population's live trust
@@ -172,13 +201,25 @@ func (p *Population) Searcher(maxDepth int, omega1, omega2 float64) *core.Search
 		RecordsAppend: func(holder, about core.AgentID, buf []core.Record) []core.Record {
 			return p.Agents[holder].Store.AppendRecords(about, buf)
 		},
-		Norm:     p.cfg.Update.Norm,
-		MaxDepth: maxDepth,
-		Omega1:   omega1,
-		Omega2:   omega2,
+		Norm:          p.cfg.Update.Norm,
+		MaxDepth:      maxDepth,
+		Omega1:        omega1,
+		Omega2:        omega2,
+		CandidateMask: p.candMask,
 		CandidateFilter: func(id core.AgentID) bool {
 			k := p.Agents[id].Kind
 			return k == agent.KindTrustee || k == agent.KindDishonestTrustee
 		},
 	}
+}
+
+// TrustView captures a frozen-epoch snapshot of every agent's store along
+// the social edges — the read substrate of the transitivity sweeps. The
+// snapshot shares the population's CSR adjacency and copies the current
+// per-edge records into a contiguous arena; it stays valid until the next
+// store mutation (delegation round, seeding pass, or identity churn).
+func (p *Population) TrustView() *core.TrustView {
+	return core.CaptureTrustView(p.adjOff, p.adjTo, func(holder, about core.AgentID, buf []core.Record) []core.Record {
+		return p.Agents[holder].Store.AppendRecords(about, buf)
+	})
 }

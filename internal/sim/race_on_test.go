@@ -1,0 +1,7 @@
+//go:build race
+
+package sim
+
+// raceEnabled reports that the race detector is active: sync.Pool fakes
+// misses under -race, so allocation-count guards cannot hold.
+const raceEnabled = true

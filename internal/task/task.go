@@ -88,6 +88,11 @@ func (t Task) Type() Type { return t.typ }
 // by the task and must not be modified.
 func (t Task) Characteristics() []Characteristic { return t.chars }
 
+// Weights returns the normalized importance weights parallel to
+// Characteristics — Weights()[i] is Weight(Characteristics()[i]) without the
+// per-call search. The slice is owned by the task and must not be modified.
+func (t Task) Weights() []float64 { return t.weights }
+
 // Weight returns the normalized importance w_i(τ) of characteristic c, or 0
 // if the task does not include c.
 func (t Task) Weight(c Characteristic) float64 {

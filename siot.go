@@ -90,6 +90,14 @@ type Searcher = core.Searcher
 // SearchResult is the outcome of a transitivity search.
 type SearchResult = core.SearchResult
 
+// TrustView is a frozen-epoch snapshot of per-edge trust records — the
+// lock-free read substrate of Searcher.FindView.
+type TrustView = core.TrustView
+
+// EdgeMemo caches per-edge hop trustworthiness over a TrustView for one
+// sweep.
+type EdgeMemo = core.EdgeMemo
+
 // Policy selects the trust-transfer method (§4.3).
 type Policy = core.Policy
 
