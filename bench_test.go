@@ -60,7 +60,63 @@ func BenchmarkTransitivitySerial(b *testing.B) { benchTransitivity(b, 1000, 1) }
 
 // BenchmarkTransitivity10k runs the same sweep on a 10k-node, 80k-edge
 // network — a scale the pre-snapshot live-store path made impractical.
+// Each op captures a fresh epoch through the arena pool, so steady-state
+// bytes/op reflect pooled reuse, not fresh ~23 MB arenas.
 func BenchmarkTransitivity10k(b *testing.B) { benchTransitivity(b, 10000, 1) }
+
+// BenchmarkTransitivity100k runs the full 100k-node, 500k-edge sweep end
+// to end — the ROADMAP's scale milestone, generated on socialgen's
+// streaming path and captured with the parallel two-pass capture.
+func BenchmarkTransitivity100k(b *testing.B) {
+	p, setup := benchnet.Population100k()
+	eng := &sim.Engine{Pop: p, Parallelism: 0, Label: "bench"}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.TransitivityRun(setup, core.PolicyAggressive, benchSeed)
+	}
+}
+
+// BenchmarkTransitivity10kPooled measures the warm repeated-sweep loop the
+// arena pool exists for: one epoch Reset (pooled re-capture) plus one full
+// aggressive run per op. Bytes/op must stay far below the ~22.9 MB/op a
+// fresh-arena capture costs at this scale.
+func BenchmarkTransitivity10kPooled(b *testing.B) {
+	p, setup := benchnet.Population(10000)
+	eng := &sim.Engine{Pop: p, Parallelism: 1, Label: "bench"}
+	ep := eng.TransitivityEpoch(setup)
+	defer ep.Release()
+	ep.Run(core.PolicyAggressive, benchSeed) // warm arenas and memo
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ep.Reset()
+		ep.Run(core.PolicyAggressive, benchSeed)
+	}
+}
+
+// benchCapture measures one pooled trust-view capture (the two-pass
+// parallel CaptureTrustView) at the given scale and worker count.
+func benchCapture(b *testing.B, nodes, workers int) {
+	p, _ := benchnet.Population(nodes)
+	pool := core.NewArenaPool()
+	v := p.TrustViewParallel(workers, pool) // warm the pool
+	v.Release()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v := p.TrustViewParallel(workers, pool)
+		v.Release()
+	}
+}
+
+// BenchmarkCapture10kSerial is the one-worker baseline of the 10k-node
+// trust-view capture.
+func BenchmarkCapture10kSerial(b *testing.B) { benchCapture(b, 10000, 1) }
+
+// BenchmarkCapture10kParallel4 captures the same view with four workers.
+// Output is byte-identical at every width (TestCaptureParallelEquivalence);
+// on a multi-core machine the wall-clock time should drop accordingly.
+func BenchmarkCapture10kParallel4(b *testing.B) { benchCapture(b, 10000, 4) }
 
 // BenchmarkFindAggressive measures one warm aggressive search over a frozen
 // epoch. With the pooled dense scratch state and a recycled result this

@@ -8,12 +8,20 @@
 //
 //	siot-bench [-seed N] [-exp table1,fig7,...|all] [-csv DIR] [-charts] [-parallel P]
 //	siot-bench -json BENCH.json [-label NAME]
+//	siot-bench -compare BENCH.json [-label NAME]
 //
 // With -json, siot-bench runs the machine-readable perf suite instead of
 // the experiments: it times the engine's standard workloads (delegation
-// rounds, frozen-epoch transitivity sweeps at 1k and 10k nodes, a single
-// warm search) and appends an entry to the JSON history file, tracking the
-// perf trajectory across PRs.
+// rounds, frozen-epoch transitivity sweeps at 1k, 10k, and 100k nodes,
+// the pooled trust-view capture, a single warm search) and appends an
+// entry to the JSON history file, tracking the perf trajectory across PRs.
+//
+// With -compare, the suite additionally diffs the fresh measurements
+// against the file's previous last entry and exits non-zero when any
+// benchmark regressed by more than 15% ns/op — BENCH.json becomes a
+// guarded perf trajectory. Baselines recorded on a differently sized
+// machine (the entries carry gomaxprocs/num_cpu) are reported but not
+// enforced.
 //
 // Exit status is nonzero if any shape check fails.
 package main
@@ -37,10 +45,19 @@ func main() {
 	parallel := flag.Int("parallel", 0, "simulation worker-pool width (0 = GOMAXPROCS, 1 = serial); outputs are identical at any width")
 	jsonPath := flag.String("json", "", "run the perf suite and append the results to this JSON history file (skips the experiments)")
 	label := flag.String("label", "local", "label recorded with the -json perf entry")
+	compare := flag.String("compare", "", "run the perf suite against this JSON history file, appending the new entry and exiting non-zero on any >15% ns/op regression vs the previous last entry (implies -json)")
 	flag.Parse()
 
-	if *jsonPath != "" {
-		if err := runPerfSuite(*jsonPath, *label); err != nil {
+	if *compare != "" && *jsonPath != "" {
+		fmt.Fprintln(os.Stderr, "siot-bench: -json and -compare are mutually exclusive (both run the suite and append to their file; pick one history file)")
+		os.Exit(2)
+	}
+	if *compare != "" || *jsonPath != "" {
+		path, gate := *jsonPath, false
+		if *compare != "" {
+			path, gate = *compare, true
+		}
+		if err := runPerfSuite(path, *label, gate); err != nil {
 			fmt.Fprintln(os.Stderr, "siot-bench:", err)
 			os.Exit(2)
 		}

@@ -28,15 +28,25 @@ type perfResult struct {
 	AllocsPerOp int64   `json:"allocs_per_op"`
 	// SpeedupVsSerial compares against the suite's serial rounds baseline
 	// (only set for parallel variants).
-	SpeedupVsSerial float64            `json:"speedup_vs_serial,omitempty"`
-	Counters        map[string]float64 `json:"counters,omitempty"`
+	SpeedupVsSerial float64 `json:"speedup_vs_serial,omitempty"`
+	// SpeedupNote qualifies SpeedupVsSerial when the measurement
+	// environment cannot exhibit parallel speedup (GOMAXPROCS=1): a ~1.0x
+	// reading there is an artifact of the worker pool's overhead, not a
+	// regression signal.
+	SpeedupNote string             `json:"speedup_note,omitempty"`
+	Counters    map[string]float64 `json:"counters,omitempty"`
 }
 
-// perfEntry is one suite run (one PR / one CI invocation).
+// perfEntry is one suite run (one PR / one CI invocation). GOMAXPROCS and
+// NumCPU record the measurement environment: entries from differently
+// sized machines are not comparable, and the -compare gate refuses to
+// treat them as a regression baseline.
 type perfEntry struct {
 	Label      string       `json:"label"`
 	Date       string       `json:"date"`
 	Go         string       `json:"go"`
+	GoMaxProcs int          `json:"gomaxprocs"`
+	NumCPU     int          `json:"num_cpu"`
 	Benchmarks []perfResult `json:"benchmarks"`
 }
 
@@ -90,6 +100,40 @@ func benchTransitivityWorkload(nodes, workers int) (testing.BenchmarkResult, sim
 	return res, st
 }
 
+// benchCaptureWorkload times one pooled two-pass trust-view capture per op
+// at the given scale and worker count — the serial bottleneck the parallel
+// capture removed at large N. The population (expensive at 10k+) is built
+// once, outside the benchmark's sizing rounds.
+func benchCaptureWorkload(nodes, workers int) testing.BenchmarkResult {
+	p, _ := benchnet.Population(nodes)
+	pool := core.NewArenaPool()
+	v := p.TrustViewParallel(workers, pool) // warm the pool
+	v.Release()
+	return testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			v := p.TrustViewParallel(workers, pool)
+			v.Release()
+		}
+	})
+}
+
+// benchTransitivity100kWorkload times the full 100k-node sweep — streaming
+// network generation and the seeded population are built once, each op is
+// one pooled capture + memo pre-pass + 40k-trustor aggressive sweep.
+func benchTransitivity100kWorkload(workers int) (testing.BenchmarkResult, sim.TransitivityStats) {
+	p, setup := benchnet.Population100k()
+	eng := &sim.Engine{Pop: p, Parallelism: workers, Label: "perf"}
+	var st sim.TransitivityStats
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			st = eng.TransitivityRun(setup, core.PolicyAggressive, benchnet.Seed)
+		}
+	})
+	return res, st
+}
+
 // benchFindWorkload times one warm aggressive search over a frozen epoch
 // (the 0 allocs/op guard's workload). Pure read: built once.
 func benchFindWorkload(nodes int) (testing.BenchmarkResult, int) {
@@ -112,8 +156,12 @@ func benchFindWorkload(nodes int) (testing.BenchmarkResult, int) {
 }
 
 // runPerfSuite executes the suite and appends the entry to path (creating
-// the file when absent).
-func runPerfSuite(path, label string) error {
+// the file when absent). With compare set, the fresh measurements are also
+// diffed against the file's previous last entry and any >15% ns/op
+// regression fails the run — unless the baseline was recorded on a
+// differently sized machine, in which case the diff is reported but not
+// enforced (timings across machines are not comparable; see perfEntry).
+func runPerfSuite(path, label string, compare bool) error {
 	var out perfFile
 	if data, err := os.ReadFile(path); err == nil {
 		if err := json.Unmarshal(data, &out); err != nil {
@@ -124,9 +172,11 @@ func runPerfSuite(path, label string) error {
 	}
 
 	entry := perfEntry{
-		Label: label,
-		Date:  time.Now().UTC().Format("2006-01-02"),
-		Go:    runtime.Version(),
+		Label:      label,
+		Date:       time.Now().UTC().Format("2006-01-02"),
+		Go:         runtime.Version(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
 	}
 
 	serial, counters := benchRoundsWorkload(1000, 1)
@@ -140,6 +190,9 @@ func runPerfSuite(path, label string) error {
 	parallel, _ := benchRoundsWorkload(1000, 4)
 	r = timed("rounds-1k-parallel4", parallel)
 	r.SpeedupVsSerial = float64(serial.NsPerOp()) / float64(parallel.NsPerOp())
+	if entry.GoMaxProcs == 1 {
+		r.SpeedupNote = "measured at GOMAXPROCS=1; pool overhead only, not a regression signal"
+	}
 	entry.Benchmarks = append(entry.Benchmarks, r)
 
 	transit, st := benchTransitivityWorkload(1000, 1)
@@ -158,19 +211,84 @@ func runPerfSuite(path, label string) error {
 	}
 	entry.Benchmarks = append(entry.Benchmarks, r)
 
+	capture := benchCaptureWorkload(10000, 1)
+	entry.Benchmarks = append(entry.Benchmarks, timed("capture-10k-serial", capture))
+
+	transit100k, st100 := benchTransitivity100kWorkload(0)
+	r = timed("transitivity-100k", transit100k)
+	r.Counters = map[string]float64{
+		"requests":           float64(st100.Requests),
+		"potential_trustees": float64(st100.PotentialTrustees),
+	}
+	entry.Benchmarks = append(entry.Benchmarks, r)
+
 	find, inquired := benchFindWorkload(1000)
 	r = timed("find-aggressive-1k", find)
 	r.Counters = map[string]float64{"inquired": float64(inquired)}
 	entry.Benchmarks = append(entry.Benchmarks, r)
+
+	for _, b := range entry.Benchmarks {
+		fmt.Printf("%-24s %12.0f ns/op %10d B/op %8d allocs/op\n",
+			b.Name, b.NsPerOp, b.BytesPerOp, b.AllocsPerOp)
+	}
+
+	var regressions []string
+	if compare && len(out.Entries) > 0 {
+		regressions = compareEntries(out.Entries[len(out.Entries)-1], entry)
+	}
 
 	out.Entries = append(out.Entries, entry)
 	data, err := json.MarshalIndent(out, "", "  ")
 	if err != nil {
 		return err
 	}
-	for _, b := range entry.Benchmarks {
-		fmt.Printf("%-24s %12.0f ns/op %10d B/op %8d allocs/op\n",
-			b.Name, b.NsPerOp, b.BytesPerOp, b.AllocsPerOp)
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
 	}
-	return os.WriteFile(path, append(data, '\n'), 0o644)
+	if len(regressions) > 0 {
+		for _, msg := range regressions {
+			fmt.Println("PERF FAIL ", msg)
+		}
+		return fmt.Errorf("%d benchmark(s) regressed more than %d%% vs entry %q", len(regressions), int(regressionTolerance*100), out.Entries[len(out.Entries)-2].Label)
+	}
+	return nil
+}
+
+// regressionTolerance is the fractional ns/op slowdown the -compare gate
+// accepts before failing (noise on shared CI runners sits well below it).
+const regressionTolerance = 0.15
+
+// compareEntries diffs cur against base by benchmark name and returns one
+// message per enforced regression. Benchmarks present on only one side are
+// skipped (the suite may grow), and a baseline from a differently sized
+// machine demotes every finding to a printed warning.
+func compareEntries(base, cur perfEntry) []string {
+	enforce := base.NumCPU == cur.NumCPU && base.GoMaxProcs == cur.GoMaxProcs
+	if !enforce {
+		fmt.Printf("compare: baseline %q ran on %d CPUs (GOMAXPROCS %d), this run on %d (GOMAXPROCS %d); reporting deltas without enforcement\n",
+			base.Label, base.NumCPU, base.GoMaxProcs, cur.NumCPU, cur.GoMaxProcs)
+	}
+	prev := make(map[string]perfResult, len(base.Benchmarks))
+	for _, b := range base.Benchmarks {
+		prev[b.Name] = b
+	}
+	var regressions []string
+	for _, b := range cur.Benchmarks {
+		p, ok := prev[b.Name]
+		if !ok || p.NsPerOp <= 0 {
+			continue
+		}
+		ratio := b.NsPerOp / p.NsPerOp
+		fmt.Printf("compare: %-24s %+7.1f%% vs %q\n", b.Name, 100*(ratio-1), base.Label)
+		if ratio > 1+regressionTolerance {
+			msg := fmt.Sprintf("%s: %.0f ns/op vs %.0f ns/op (%.1f%% slower, tolerance %d%%)",
+				b.Name, b.NsPerOp, p.NsPerOp, 100*(ratio-1), int(regressionTolerance*100))
+			if enforce {
+				regressions = append(regressions, msg)
+			} else {
+				fmt.Println("PERF WARN ", msg)
+			}
+		}
+	}
+	return regressions
 }

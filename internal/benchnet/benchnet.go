@@ -32,11 +32,34 @@ func Profile(nodes int) socialgen.Profile {
 	}
 }
 
+// Net100k is the canonical 100k-node benchmark profile: 500k edges
+// (average degree 10, the scale-out regime the ROADMAP's 100k milestone
+// targets), community-structured like the smaller profiles. It generates
+// on socialgen's streaming large-N path.
+func Net100k() socialgen.Profile {
+	return socialgen.Profile{
+		Name:  "bench100k",
+		Nodes: 100_000, Edges: 500_000,
+		Communities: 1250, IntraFrac: 0.7, FoF: 0.5, SizeSkew: 1.0,
+		Overlap: 0.2, ChainCommunities: 1, FeatureKinds: 6, FeaturesPerNode: 2,
+	}
+}
+
 // Population builds the benchmark population at the given node count with
 // transitivity experience seeded (5-characteristic alphabet, depth-3
 // chains), ready for delegation rounds and transitivity sweeps.
 func Population(nodes int) (*sim.Population, sim.TransitivitySetup) {
-	net := socialgen.Generate(Profile(nodes), Seed)
+	return PopulationFor(Profile(nodes))
+}
+
+// Population100k builds the canonical 100k-node benchmark population.
+func Population100k() (*sim.Population, sim.TransitivitySetup) {
+	return PopulationFor(Net100k())
+}
+
+// PopulationFor builds the seeded benchmark population over any profile.
+func PopulationFor(profile socialgen.Profile) (*sim.Population, sim.TransitivitySetup) {
+	net := socialgen.Generate(profile, Seed)
 	p := sim.NewPopulation(net, sim.DefaultPopulationConfig(Seed))
 	r := p.Rand("bench-rounds")
 	setup := sim.DefaultTransitivitySetup(5, r)

@@ -118,6 +118,17 @@ func (s *Store) AppendRecords(trustee AgentID, buf []Record) []Record {
 	return append(buf, recs...)
 }
 
+// RecordCount returns how many records the store holds about trustee. It
+// is the counting pass of the parallel trust-view capture: together with
+// AppendRecords it lets CaptureTrustViewParallel size every arena span
+// before filling it.
+func (s *Store) RecordCount(trustee AgentID) int {
+	sh := s.shard(trustee)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	return len(sh.records[trustee])
+}
+
 // NumRecords returns the number of (trustee, task type) records held.
 func (s *Store) NumRecords() int {
 	n := 0

@@ -24,10 +24,11 @@ import (
 // stores. Concurrent readers are safe; the view is never written after
 // capture.
 type TrustView struct {
-	adjOff []int32   // CSR row offsets, len NumAgents+1 (shared, not owned)
-	adjTo  []AgentID // CSR edge targets (shared, not owned)
-	recOff []int32   // per-edge spans into recs, len len(adjTo)+1
-	recs   []Record  // record arena, grouped by directed edge
+	adjOff []int32    // CSR row offsets, len NumAgents+1 (shared, not owned)
+	adjTo  []AgentID  // CSR edge targets (shared, not owned)
+	recOff []int32    // per-edge spans into recs, len len(adjTo)+1
+	recs   []Record   // record arena, grouped by directed edge
+	pool   *ArenaPool // arena source, nil when the arenas were allocated fresh
 }
 
 // CaptureTrustView freezes the per-edge records of a population into a view.
@@ -53,6 +54,118 @@ func CaptureTrustView(adjOff []int32, adjTo []AgentID, appendRecords func(holder
 		}
 	}
 	return v
+}
+
+// CaptureSource is the record access a capture needs from the live stores:
+// Count reports how many records holder keeps about about, and Append
+// appends exactly those records to buf, returning the extended slice
+// (Store.RecordCount / Store.AppendRecords). Both must be safe for
+// concurrent use across distinct holders and observe a quiescent store —
+// capture runs two passes, and a store mutated between them is detected and
+// rejected (panic), not silently misrecorded.
+type CaptureSource struct {
+	Count  func(holder, about AgentID) int
+	Append func(holder, about AgentID, buf []Record) []Record
+}
+
+// CaptureTrustViewParallel is CaptureTrustView sharded over a worker pool,
+// byte-identical to the serial capture at every worker count: a first pass
+// computes per-edge record counts concurrently (prefix-summed into recOff),
+// then workers fill disjoint recs spans in place. Arenas are drawn from
+// pool when non-nil (release them with TrustView.Release); workers <= 1
+// runs the two passes serially over the same code path.
+//
+// The capture panics if a store's record count changes between the two
+// passes: the frozen-epoch contract requires quiescent stores for the whole
+// capture, and a mismatched span would otherwise leak stale or short data
+// into the arena.
+func CaptureTrustViewParallel(adjOff []int32, adjTo []AgentID, src CaptureSource, workers int, pool *ArenaPool) *TrustView {
+	ne := len(adjTo)
+	v := &TrustView{
+		adjOff: adjOff,
+		adjTo:  adjTo,
+		recOff: pool.GetOffsets(ne + 1),
+		pool:   pool,
+	}
+	// Pass 1: per-edge record counts, written one slot right so the prefix
+	// sum lands directly in recOff.
+	parallelRows(adjOff, workers, func(lo, hi int) {
+		for u := lo; u < hi; u++ {
+			base := adjOff[u]
+			for k, w := range adjTo[base:adjOff[u+1]] {
+				v.recOff[int(base)+k+1] = int32(src.Count(AgentID(u), w))
+			}
+		}
+	})
+	v.recOff[0] = 0
+	for e := 0; e < ne; e++ {
+		v.recOff[e+1] += v.recOff[e]
+	}
+	// Pass 2: fill disjoint spans in place. Appending into a zero-length,
+	// exact-capacity subslice writes directly into the arena; a span that
+	// comes back with a different length (or a reallocated base) means the
+	// store mutated between the passes.
+	v.recs = pool.GetRecords(int(v.recOff[ne]))
+	parallelRows(adjOff, workers, func(lo, hi int) {
+		for u := lo; u < hi; u++ {
+			base := adjOff[u]
+			for k, w := range adjTo[base:adjOff[u+1]] {
+				e := int(base) + k
+				span, want := v.recOff[e], v.recOff[e+1]-v.recOff[e]
+				got := src.Append(AgentID(u), w, v.recs[span:span:span+want])
+				if int32(len(got)) != want {
+					panic("core: store mutated during CaptureTrustViewParallel")
+				}
+			}
+		}
+	})
+	return v
+}
+
+// parallelRows splits the CSR rows into one contiguous chunk per worker,
+// balanced by edge count, and runs fn over each chunk concurrently.
+func parallelRows(adjOff []int32, workers int, fn func(lo, hi int)) {
+	n := len(adjOff) - 1
+	ne := int(adjOff[n])
+	if workers > ne/1024 {
+		// Below ~1k edges per worker the goroutine overhead dominates.
+		workers = ne / 1024
+	}
+	if workers <= 1 {
+		fn(0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	target := (ne + workers - 1) / workers
+	lo := 0
+	for lo < n {
+		hi := lo
+		limit := int(adjOff[lo]) + target
+		for hi < n && int(adjOff[hi+1]) <= limit {
+			hi++
+		}
+		if hi == lo {
+			hi++ // a single row larger than the target still advances
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+		lo = hi
+	}
+	wg.Wait()
+}
+
+// Release returns the view's arenas to the pool it was captured from and
+// invalidates the view: after Release the view (and anything aliasing its
+// arenas, like EdgeRecords results) must not be used. Views captured
+// without a pool release nothing. Only the owner of the capture may call
+// Release, exactly once.
+func (v *TrustView) Release() {
+	v.pool.putOffsets(v.recOff)
+	v.pool.putRecords(v.recs)
+	v.recOff, v.recs = nil, nil
 }
 
 // NumAgents returns the number of dense agent slots.
@@ -95,6 +208,7 @@ type EdgeMemo struct {
 	view    *TrustView
 	norm    Normalizer
 	workers int
+	pool    *ArenaPool // table source, nil when tables are allocated fresh
 	// tradVal[t][e] is the exact-type record trustworthiness of edge e
 	// (eq. 5's per-hop value); blocked when the edge has no record of t.
 	// The traditional hop depends on the task only through its type, so
@@ -117,15 +231,52 @@ type EdgeMemo struct {
 // NewEdgeMemo creates an empty memo over a view. workers bounds the
 // pre-pass parallelism (values below 1 run serially).
 func NewEdgeMemo(view *TrustView, norm Normalizer, workers int) *EdgeMemo {
+	return NewEdgeMemoPooled(view, norm, workers, nil)
+}
+
+// NewEdgeMemoPooled is NewEdgeMemo drawing its hop tables from pool (nil
+// falls back to fresh allocation). Release the tables with Release when the
+// memo goes stale.
+func NewEdgeMemoPooled(view *TrustView, norm Normalizer, workers int, pool *ArenaPool) *EdgeMemo {
 	return &EdgeMemo{
 		view:     view,
 		norm:     norm,
 		workers:  workers,
+		pool:     pool,
 		tradVal:  make(map[task.Type][]float64),
 		consVal:  make(map[task.Type][]float64),
 		consTask: make(map[task.Type]task.Task),
 		charVal:  make(map[task.Characteristic][]float64),
 	}
+}
+
+// Release returns every built hop table to the memo's pool and empties the
+// memo. It must not run concurrently with searches; after Release the memo
+// is reusable (Require rebuilds tables on demand) but any table slice
+// previously handed out is invalid.
+func (m *EdgeMemo) Release() {
+	for t, vals := range m.tradVal {
+		m.pool.putTable(vals)
+		delete(m.tradVal, t)
+	}
+	for t, vals := range m.consVal {
+		m.pool.putTable(vals)
+		delete(m.consVal, t)
+		delete(m.consTask, t)
+	}
+	for c, vals := range m.charVal {
+		m.pool.putTable(vals)
+		delete(m.charVal, c)
+	}
+}
+
+// Reset empties the memo and retargets it at a freshly captured view: every
+// table is released to the pool (so the next Require recomputes into the
+// same arenas) and subsequent lookups read the new view. Use after the
+// underlying stores mutated and the epoch re-captured.
+func (m *EdgeMemo) Reset(view *TrustView) {
+	m.Release()
+	m.view = view
 }
 
 // Require precomputes every table the given policy needs to search for the
@@ -219,7 +370,7 @@ func (m *EdgeMemo) charTable(c task.Characteristic) []float64 {
 // table evaluates compute over every edge's records in parallel chunks.
 func (m *EdgeMemo) table(compute func(recs []Record) (float64, bool)) []float64 {
 	ne := m.view.NumEdges()
-	vals := make([]float64, ne)
+	vals := m.pool.GetTable(ne)
 	fill := func(lo, hi int) {
 		for e := lo; e < hi; e++ {
 			val, ok := compute(m.view.EdgeRecords(int32(e)))

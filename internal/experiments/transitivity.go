@@ -75,12 +75,14 @@ func RunTransitivitySweep(cfg TransitivityConfig) TransitivityResult {
 				eng := sim.NewEngine(p, "figs9-11")
 				// One frozen-epoch capture serves all three policies: the
 				// searches are pure, so the stores cannot change between
-				// runs within a rep.
+				// runs within a rep. Releasing the epoch recycles its
+				// arenas into the next repetition's capture.
 				ep := eng.TransitivityEpoch(setup)
 				for _, pol := range policies {
 					st := ep.Run(pol, repSeed)
 					merge(agg[pol], st)
 				}
+				ep.Release()
 			}
 			for _, pol := range policies {
 				st := agg[pol]
@@ -254,6 +256,7 @@ func RunFig12(cfg Fig12Config) Fig12Result {
 
 	eng := sim.NewEngine(p, "fig12")
 	ep := eng.TransitivityEpoch(setup)
+	defer ep.Release()
 	res := Fig12Result{PerPolicy: map[core.Policy][]int{}}
 	for _, pol := range policies {
 		st := ep.Run(pol, cfg.Seed)
@@ -375,6 +378,7 @@ func RunTable2(cfg Table2Config) Table2Result {
 				st := ep.Run(pol, repSeed)
 				merge(agg[pol], st)
 			}
+			ep.Release()
 		}
 		for _, pol := range policies {
 			st := agg[pol]

@@ -1,0 +1,52 @@
+package graph
+
+import "testing"
+
+// TestNewFromSortedEdges checks the bulk loader against the incremental
+// path and its precondition rejections.
+func TestNewFromSortedEdges(t *testing.T) {
+	pairs := [][2]NodeID{{0, 1}, {0, 3}, {1, 2}, {2, 3}}
+	g, err := NewFromSortedEdges(4, pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := New(4)
+	for _, e := range pairs {
+		if err := want.AddEdge(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatalf("bulk-loaded graph invalid: %v", err)
+	}
+	if g.NumEdges() != want.NumEdges() {
+		t.Fatalf("edges = %d, want %d", g.NumEdges(), want.NumEdges())
+	}
+	for u := 0; u < 4; u++ {
+		a, b := g.Neighbors(NodeID(u)), want.Neighbors(NodeID(u))
+		if len(a) != len(b) {
+			t.Fatalf("node %d: %v, want %v", u, a, b)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("node %d: %v, want %v", u, a, b)
+			}
+		}
+	}
+
+	for _, tc := range []struct {
+		name  string
+		n     int
+		pairs [][2]NodeID
+	}{
+		{"out of range", 2, [][2]NodeID{{0, 2}}},
+		{"not canonical", 3, [][2]NodeID{{1, 0}}},
+		{"self-loop", 3, [][2]NodeID{{1, 1}}},
+		{"duplicate", 3, [][2]NodeID{{0, 1}, {0, 1}}},
+		{"out of order", 3, [][2]NodeID{{1, 2}, {0, 1}}},
+	} {
+		if _, err := NewFromSortedEdges(tc.n, tc.pairs); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+}

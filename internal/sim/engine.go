@@ -327,5 +327,7 @@ func (e *Engine) TransitivityRun(setup TransitivitySetup, policy core.Policy, se
 // snapshot, and counters and outcome draws merge in ascending trustor
 // order.
 func transitivityRun(p *Population, setup TransitivitySetup, policy core.Policy, seed uint64, workers int) TransitivityStats {
-	return newTransitivityEpoch(p, setup, workers).Run(policy, seed)
+	ep := newTransitivityEpoch(p, setup, workers)
+	defer ep.Release()
+	return ep.Run(policy, seed)
 }

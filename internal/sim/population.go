@@ -223,3 +223,25 @@ func (p *Population) TrustView() *core.TrustView {
 		return p.Agents[holder].Store.AppendRecords(about, buf)
 	})
 }
+
+// CaptureSource exposes the population's stores to the parallel trust-view
+// capture (core.CaptureTrustViewParallel): per-edge record counts for the
+// sizing pass and in-place appends for the fill pass.
+func (p *Population) CaptureSource() core.CaptureSource {
+	return core.CaptureSource{
+		Count: func(holder, about core.AgentID) int {
+			return p.Agents[holder].Store.RecordCount(about)
+		},
+		Append: func(holder, about core.AgentID, buf []core.Record) []core.Record {
+			return p.Agents[holder].Store.AppendRecords(about, buf)
+		},
+	}
+}
+
+// TrustViewParallel is TrustView captured over a worker pool, drawing
+// arenas from pool (either may be degraded: workers <= 1 captures
+// serially, a nil pool allocates fresh). The result is byte-identical to
+// TrustView at every worker count.
+func (p *Population) TrustViewParallel(workers int, pool *core.ArenaPool) *core.TrustView {
+	return core.CaptureTrustViewParallel(p.adjOff, p.adjTo, p.CaptureSource(), workers, pool)
+}

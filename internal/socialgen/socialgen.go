@@ -160,9 +160,18 @@ type Network struct {
 // Generate builds a synthetic network for the profile, deterministically
 // from seed. The returned graph is connected, simple, and has exactly
 // p.Nodes nodes and p.Edges edges.
+//
+// Profiles of streamingNodeThreshold nodes or more take the streaming
+// large-N path (see streaming.go): same macro-structure, built as a flat
+// sorted edge-key list with structural (never repaired) connectivity.
+// Smaller profiles — including the three calibrated paper networks — use
+// the rejection-and-refinement path below, unchanged.
 func Generate(p Profile, seed uint64) *Network {
 	if p.Nodes < 2 {
 		panic(fmt.Sprintf("socialgen: profile %q has %d nodes", p.Name, p.Nodes))
+	}
+	if p.Nodes >= streamingNodeThreshold {
+		return generateStreaming(p, seed)
 	}
 	maxEdges := p.Nodes * (p.Nodes - 1) / 2
 	if p.Edges > maxEdges {

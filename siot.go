@@ -98,6 +98,13 @@ type TrustView = core.TrustView
 // sweep.
 type EdgeMemo = core.EdgeMemo
 
+// ArenaPool recycles TrustView arenas and EdgeMemo hop tables across
+// frozen-epoch captures (capacity-keyed, explicit Release).
+type ArenaPool = core.ArenaPool
+
+// NewArenaPool returns an empty arena pool.
+func NewArenaPool() *ArenaPool { return core.NewArenaPool() }
+
 // Policy selects the trust-transfer method (§4.3).
 type Policy = core.Policy
 
