@@ -12,6 +12,7 @@ import (
 	"siot/internal/core"
 	"siot/internal/experiments"
 	"siot/internal/sim"
+	"siot/internal/socialgen"
 	"siot/internal/stats"
 	"siot/internal/task"
 )
@@ -93,6 +94,46 @@ func BenchmarkTransitivity10kPooled(b *testing.B) {
 		ep.Run(core.PolicyAggressive, benchSeed)
 	}
 }
+
+// BenchmarkSetup100k measures the full 100k-node setup pipeline the sweep
+// sits on — sharded population build (roles, behaviors, CSR) plus bulk
+// experience seeding over the worker pool — on the pre-generated canonical
+// network. The ROADMAP target: below ~1 s per op on 1 CPU (the serial
+// path took ~2 s).
+func BenchmarkSetup100k(b *testing.B) {
+	net := socialgen.Generate(benchnet.Net100k(), benchnet.Seed)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchnet.Populate(net)
+	}
+}
+
+// benchSeedPass isolates the experience-seeding pass at the given scale and
+// worker count: each op re-builds a fresh population outside the timer and
+// times one SeedParallel over it.
+func benchSeedPass(b *testing.B, nodes, workers int) {
+	net := socialgen.Generate(benchnet.Profile(nodes), benchnet.Seed)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		cfg := sim.DefaultPopulationConfig(benchnet.Seed)
+		cfg.Parallelism = workers
+		p := sim.NewPopulation(net, cfg)
+		setup := sim.DefaultTransitivitySetup(5, p.Rand("bench-rounds"))
+		setup.MaxDepth = 3
+		b.StartTimer()
+		p.SeedParallel(setup, benchnet.Seed, workers)
+	}
+}
+
+// BenchmarkSeed10kSerial is the single-worker baseline of the bulk seeding
+// pass on the 10k-node network.
+func BenchmarkSeed10kSerial(b *testing.B) { benchSeedPass(b, 10000, 1) }
+
+// BenchmarkSeed10kParallel4 seeds the same network with four workers. The
+// stores are byte-identical at every width (TestSeedParallelEquivalence);
+// on a multi-core machine the wall-clock time should drop accordingly.
+func BenchmarkSeed10kParallel4(b *testing.B) { benchSeedPass(b, 10000, 4) }
 
 // benchCapture measures one pooled trust-view capture (the two-pass
 // parallel CaptureTrustView) at the given scale and worker count.

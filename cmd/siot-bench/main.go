@@ -13,7 +13,8 @@
 // With -json, siot-bench runs the machine-readable perf suite instead of
 // the experiments: it times the engine's standard workloads (delegation
 // rounds, frozen-epoch transitivity sweeps at 1k, 10k, and 100k nodes,
-// the pooled trust-view capture, a single warm search) and appends an
+// the pooled trust-view capture, the bulk experience-seeding pass, the
+// full 100k populate+seed setup, a single warm search) and appends an
 // entry to the JSON history file, tracking the perf trajectory across PRs.
 //
 // With -compare, the suite additionally diffs the fresh measurements
@@ -45,6 +46,7 @@ func main() {
 	parallel := flag.Int("parallel", 0, "simulation worker-pool width (0 = GOMAXPROCS, 1 = serial); outputs are identical at any width")
 	jsonPath := flag.String("json", "", "run the perf suite and append the results to this JSON history file (skips the experiments)")
 	label := flag.String("label", "local", "label recorded with the -json perf entry")
+	note := flag.String("note", "", "context note recorded with the -json perf entry (e.g. a deliberate workload change)")
 	compare := flag.String("compare", "", "run the perf suite against this JSON history file, appending the new entry and exiting non-zero on any >15% ns/op regression vs the previous last entry (implies -json)")
 	flag.Parse()
 
@@ -57,7 +59,7 @@ func main() {
 		if *compare != "" {
 			path, gate = *compare, true
 		}
-		if err := runPerfSuite(path, *label, gate); err != nil {
+		if err := runPerfSuite(path, *label, *note, gate); err != nil {
 			fmt.Fprintln(os.Stderr, "siot-bench:", err)
 			os.Exit(2)
 		}

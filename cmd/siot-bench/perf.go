@@ -11,6 +11,7 @@ import (
 	"siot/internal/benchnet"
 	"siot/internal/core"
 	"siot/internal/sim"
+	"siot/internal/socialgen"
 	"siot/internal/task"
 )
 
@@ -42,9 +43,13 @@ type perfResult struct {
 // sized machines are not comparable, and the -compare gate refuses to
 // treat them as a regression baseline.
 type perfEntry struct {
-	Label      string       `json:"label"`
-	Date       string       `json:"date"`
-	Go         string       `json:"go"`
+	Label string `json:"label"`
+	Date  string `json:"date"`
+	Go    string `json:"go"`
+	// Note explains context a reader of the history needs — e.g. a
+	// deliberate workload change that moves like-named benchmarks for
+	// data rather than code reasons (set with -note).
+	Note       string       `json:"note,omitempty"`
 	GoMaxProcs int          `json:"gomaxprocs"`
 	NumCPU     int          `json:"num_cpu"`
 	Benchmarks []perfResult `json:"benchmarks"`
@@ -118,6 +123,40 @@ func benchCaptureWorkload(nodes, workers int) testing.BenchmarkResult {
 	})
 }
 
+// benchSetupWorkload times the full setup pipeline (sharded population
+// build plus bulk experience seeding, at the default GOMAXPROCS pool
+// width) per op on the canonical network for the profile; the network
+// itself is generated once, outside the timer.
+func benchSetupWorkload(profile socialgen.Profile) testing.BenchmarkResult {
+	net := socialgen.Generate(profile, benchnet.Seed)
+	return testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			benchnet.Populate(net)
+		}
+	})
+}
+
+// benchSeedWorkload isolates the bulk experience-seeding pass: each op
+// re-builds a fresh population outside the timer and times one
+// SeedParallel at the given worker count.
+func benchSeedWorkload(nodes, workers int) testing.BenchmarkResult {
+	net := socialgen.Generate(benchnet.Profile(nodes), benchnet.Seed)
+	return testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			cfg := sim.DefaultPopulationConfig(benchnet.Seed)
+			cfg.Parallelism = workers
+			p := sim.NewPopulation(net, cfg)
+			setup := sim.DefaultTransitivitySetup(5, p.Rand("bench-rounds"))
+			setup.MaxDepth = 3
+			b.StartTimer()
+			p.SeedParallel(setup, benchnet.Seed, workers)
+		}
+	})
+}
+
 // benchTransitivity100kWorkload times the full 100k-node sweep — streaming
 // network generation and the seeded population are built once, each op is
 // one pooled capture + memo pre-pass + 40k-trustor aggressive sweep.
@@ -161,7 +200,7 @@ func benchFindWorkload(nodes int) (testing.BenchmarkResult, int) {
 // regression fails the run — unless the baseline was recorded on a
 // differently sized machine, in which case the diff is reported but not
 // enforced (timings across machines are not comparable; see perfEntry).
-func runPerfSuite(path, label string, compare bool) error {
+func runPerfSuite(path, label, note string, compare bool) error {
 	var out perfFile
 	if data, err := os.ReadFile(path); err == nil {
 		if err := json.Unmarshal(data, &out); err != nil {
@@ -175,6 +214,7 @@ func runPerfSuite(path, label string, compare bool) error {
 		Label:      label,
 		Date:       time.Now().UTC().Format("2006-01-02"),
 		Go:         runtime.Version(),
+		Note:       note,
 		GoMaxProcs: runtime.GOMAXPROCS(0),
 		NumCPU:     runtime.NumCPU(),
 	}
@@ -213,6 +253,20 @@ func runPerfSuite(path, label string, compare bool) error {
 
 	capture := benchCaptureWorkload(10000, 1)
 	entry.Benchmarks = append(entry.Benchmarks, timed("capture-10k-serial", capture))
+
+	seedSerial := benchSeedWorkload(10000, 1)
+	entry.Benchmarks = append(entry.Benchmarks, timed("seed-10k-serial", seedSerial))
+
+	seedParallel := benchSeedWorkload(10000, 4)
+	r = timed("seed-10k-parallel4", seedParallel)
+	r.SpeedupVsSerial = float64(seedSerial.NsPerOp()) / float64(seedParallel.NsPerOp())
+	if entry.GoMaxProcs == 1 {
+		r.SpeedupNote = "measured at GOMAXPROCS=1; pool overhead only, not a regression signal"
+	}
+	entry.Benchmarks = append(entry.Benchmarks, r)
+
+	setup100k := benchSetupWorkload(benchnet.Net100k())
+	entry.Benchmarks = append(entry.Benchmarks, timed("setup-100k", setup100k))
 
 	transit100k, st100 := benchTransitivity100kWorkload(0)
 	r = timed("transitivity-100k", transit100k)

@@ -142,7 +142,7 @@ func main() {
 		p := sim.NewPopulation(net, cfg)
 		r := rng.New(*seed, "cli-transitivity")
 		setup := sim.DefaultTransitivitySetup(*chars, r)
-		sim.SeedExperience(p, setup, r)
+		sim.SeedExperience(p, setup, *seed)
 		st := sim.NewEngine(p, "cli-transitivity").TransitivityRun(setup, pol, *seed)
 		fmt.Printf("policy=%s chars=%d\n", pol, *chars)
 		fmt.Printf("success rate       %.3f\n", st.SuccessRate())

@@ -37,7 +37,7 @@ func main() {
 	// accomplished two tasks drawn from a universe over {gps, image,
 	// velocity, temperature} characteristics, and its neighbors remember.
 	setup := sim.DefaultTransitivitySetup(4, r)
-	sim.SeedExperience(p, setup, r)
+	sim.SeedExperience(p, setup, seed)
 
 	// The composite request: traffic monitoring = GPS + image.
 	traffic := task.Uniform(task.Type(len(setup.Universe.Tasks)), task.CharGPS, task.CharImage)

@@ -44,7 +44,7 @@ func TestIntegrationEdgeListToExperiment(t *testing.T) {
 	p := sim.NewPopulation(net, sim.DefaultPopulationConfig(9))
 	r := rng.New(9, "integration")
 	setup := sim.DefaultTransitivitySetup(5, r)
-	sim.SeedExperience(p, setup, r)
+	sim.SeedExperience(p, setup, 9)
 	st := sim.TransitivityRun(p, setup, siot.PolicyAggressive, 9)
 	if st.Requests == 0 {
 		t.Fatal("no requests over the loaded graph")

@@ -59,11 +59,17 @@ func Population100k() (*sim.Population, sim.TransitivitySetup) {
 
 // PopulationFor builds the seeded benchmark population over any profile.
 func PopulationFor(profile socialgen.Profile) (*sim.Population, sim.TransitivitySetup) {
-	net := socialgen.Generate(profile, Seed)
+	return Populate(socialgen.Generate(profile, Seed))
+}
+
+// Populate builds the seeded benchmark population over an already
+// generated network — the populate+seed half of PopulationFor, split out
+// so the setup benchmarks (BenchmarkSetup100k, the siot-bench setup
+// workloads) can time it without re-generating the network every op.
+func Populate(net *socialgen.Network) (*sim.Population, sim.TransitivitySetup) {
 	p := sim.NewPopulation(net, sim.DefaultPopulationConfig(Seed))
-	r := p.Rand("bench-rounds")
-	setup := sim.DefaultTransitivitySetup(5, r)
+	setup := sim.DefaultTransitivitySetup(5, p.Rand("bench-rounds"))
 	setup.MaxDepth = 3
-	sim.SeedExperience(p, setup, r)
+	sim.SeedExperience(p, setup, Seed)
 	return p, setup
 }

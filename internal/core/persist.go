@@ -111,6 +111,9 @@ func LoadStore(r io.Reader, cfg UpdateConfig) (*Store, error) {
 		if us.Responsible < 0 || us.Abusive < 0 {
 			return nil, fmt.Errorf("core: snapshot usage log for trustor %d has negative counts", us.Trustor)
 		}
+		if s.usage == nil {
+			s.usage = make(map[AgentID]*UsageLog, len(snap.Usage))
+		}
 		s.usage[us.Trustor] = &UsageLog{Responsible: us.Responsible, Abusive: us.Abusive}
 	}
 	return s, nil

@@ -25,6 +25,21 @@ func FuzzPersistRoundTrip(f *testing.F) {
 		f.Fatal(err)
 	}
 	f.Add(seed.Bytes())
+	// A bulk-seeded store: snapshots produced through the SeedSorted batch
+	// path must round-trip exactly like per-record Seed/Observe state.
+	bulkStore := NewStore(4, DefaultUpdateConfig())
+	if err := bulkStore.SeedSorted([]SeedRecord{
+		{Trustee: 2, Task: task.Uniform(1, task.CharCompute), Exp: Expectation{S: 0.7, G: 0.7, D: 0.3}},
+		{Trustee: 2, Task: tk, Exp: Expectation{S: 0.4, G: 0.4, D: 0.6, C: 0.1}},
+		{Trustee: 9, Task: tk, Exp: Expectation{S: 1, G: 1}},
+	}); err != nil {
+		f.Fatal(err)
+	}
+	var bulk bytes.Buffer
+	if err := bulkStore.Save(&bulk); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(bulk.Bytes())
 	f.Add([]byte(`{}`))
 	f.Add([]byte(`{"version":1,"owner":5,"records":[],"usage":[]}`))
 	f.Add([]byte(`{"version":1,"owner":0,"records":[{"trustee":3,"task":{"type":7,"chars":[2],"weights":[1]},"s":0.5,"g":0.5,"d":0.5,"c":0.5,"count":4}],"usage":[{"trustor":8,"responsible":3,"abusive":1}]}`))

@@ -28,7 +28,10 @@ const storeShards = 8
 
 // storeShard is one lock stripe: the experience records about the trustees
 // whose IDs hash into it. Records per trustee are kept sorted by task type,
-// so reads hand out ordered data without sorting or allocating.
+// so reads hand out ordered data without sorting or allocating. The map is
+// allocated lazily on first write — a 100k-node population creates 800k
+// shard maps, most of which never see a record — and every read path
+// tolerates it being nil.
 type storeShard struct {
 	mu      sync.RWMutex
 	records map[AgentID][]Record
@@ -52,20 +55,14 @@ type Store struct {
 }
 
 // NewStore creates an empty store for the given agent using cfg for all
-// updates.
+// updates. Shard and usage maps are allocated lazily on first write, so an
+// empty store costs one allocation — population builds create one store per
+// node, and at 100k nodes eager maps dominated the build time.
 func NewStore(owner AgentID, cfg UpdateConfig) *Store {
 	if cfg.Norm == nil {
 		cfg.Norm = UnitNormalizer()
 	}
-	s := &Store{
-		owner: owner,
-		cfg:   cfg,
-		usage: make(map[AgentID]*UsageLog),
-	}
-	for i := range s.shards {
-		s.shards[i].records = make(map[AgentID][]Record)
-	}
-	return s
+	return &Store{owner: owner, cfg: cfg}
 }
 
 // shard returns the lock stripe responsible for a trustee.
@@ -168,6 +165,9 @@ func (s *Store) Observe(trustee AgentID, t task.Task, o Outcome, ectx EnvContext
 	recs := sh.records[trustee]
 	i, ok := searchRecord(recs, t.Type())
 	if !ok {
+		if sh.records == nil {
+			sh.records = make(map[AgentID][]Record)
+		}
 		recs = slices.Insert(recs, i, Record{Task: t, Exp: s.cfg.Init})
 		sh.records[trustee] = recs
 	}
@@ -193,6 +193,9 @@ func (s *Store) setRecord(trustee AgentID, r Record) {
 	if i, ok := searchRecord(recs, r.Task.Type()); ok {
 		recs[i] = r
 	} else {
+		if sh.records == nil {
+			sh.records = make(map[AgentID][]Record)
+		}
 		sh.records[trustee] = slices.Insert(recs, i, r)
 	}
 }
@@ -299,6 +302,9 @@ func (s *Store) usageSorted() []usageSnapshot {
 func (s *Store) ObserveUsage(trustor AgentID, abusive bool) {
 	s.usageMu.Lock()
 	defer s.usageMu.Unlock()
+	if s.usage == nil {
+		s.usage = make(map[AgentID]*UsageLog)
+	}
 	l, ok := s.usage[trustor]
 	if !ok {
 		l = &UsageLog{}

@@ -45,7 +45,11 @@ func TestFig7Shape(t *testing.T) {
 func TestTransitivityShape(t *testing.T) {
 	cfg := DefaultTransitivityConfig(1)
 	cfg.CharCounts = []int{4, 7}
-	cfg.Repeats = 2
+	// 3 repeats, not 2: the aggressive-vs-conservative success gap the
+	// ShapeCheck tolerates (±0.03) is an averaged, full-scale claim —
+	// two-repeat samples dip below it on many seeds (the full Repeats=5
+	// sweep passes on every seed tried).
+	cfg.Repeats = 3
 	res := RunTransitivitySweep(cfg)
 	noShapeErrors(t, res.ShapeCheck())
 	if len(res.Cells) != 3*2*3 {

@@ -128,6 +128,48 @@ func TestGoldenFigures(t *testing.T) {
 	}
 }
 
+// TestGoldenRegenerationIdentity turns the one-time golden regeneration
+// into a standing invariant: what `-update` would write must not depend on
+// when or how often it runs. TestGoldenFigures already proves one P=1 and
+// one P=8 run serialize identically; this test replays the full registry a
+// further time — after every experiment has already run twice in this
+// process — and requires the bytes to still match the committed snapshots.
+// Cross-run state that could poison a regeneration (shared arena pools,
+// sync.Pool scratch, lazily grown store maps, a stray package-level rng)
+// fails here, so `go test -update` is safe to run at any parallelism and
+// any point in a session.
+func TestGoldenRegenerationIdentity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("third full registry pass skipped in -short mode")
+	}
+	if raceEnabled {
+		t.Skip("byte-determinism guard, skipped under -race (TestGoldenFigures covers the code paths there)")
+	}
+	if *updateGolden {
+		t.Skip("snapshots are being rewritten; TestGoldenFigures validates the update pass")
+	}
+	for _, name := range Names() {
+		t.Run(name, func(t *testing.T) {
+			res, err := RunOpts(name, Options{Seed: goldenSeed, Parallelism: 8})
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := goldenEncode(name, res)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := os.ReadFile(goldenPath(name))
+			if err != nil {
+				t.Fatalf("missing golden snapshot for %q (regenerate with -update): %v", name, err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Errorf("repeated regeneration of %q drifted from the committed snapshot — process state leaks into the experiments\n%s",
+					name, firstDiff(want, got))
+			}
+		})
+	}
+}
+
 // TestGoldenNoStrays ensures every committed snapshot still corresponds to a
 // registered experiment, so renames cannot leave dead goldens behind.
 func TestGoldenNoStrays(t *testing.T) {

@@ -1,0 +1,10 @@
+//go:build race
+
+package experiments
+
+// raceEnabled reports that the race detector is active. The
+// regeneration-identity pass skips under -race: it is a byte-determinism
+// guard, not a concurrency one — TestGoldenFigures already runs every
+// experiment at P=1 and P=8 under the detector — and a third full registry
+// pass pushes the race job past the go test timeout.
+const raceEnabled = true

@@ -71,7 +71,7 @@ func RunTransitivitySweep(cfg TransitivityConfig) TransitivityResult {
 				r := rng.New(repSeed, "setup")
 				setup := sim.DefaultTransitivitySetup(numChars, r)
 				setup.MaxDepth = cfg.MaxDepth
-				sim.SeedExperience(p, setup, r)
+				sim.SeedExperience(p, setup, repSeed)
 				eng := sim.NewEngine(p, "figs9-11")
 				// One frozen-epoch capture serves all three policies: the
 				// searches are pure, so the stores cannot change between
@@ -252,7 +252,7 @@ func RunFig12(cfg Fig12Config) Fig12Result {
 	r := rng.New(cfg.Seed, "fig12-setup")
 	setup := sim.DefaultTransitivitySetup(cfg.NumChars, r)
 	setup.MaxDepth = cfg.MaxDepth
-	sim.SeedExperience(p, setup, r)
+	sim.SeedExperience(p, setup, cfg.Seed)
 
 	eng := sim.NewEngine(p, "fig12")
 	ep := eng.TransitivityEpoch(setup)
@@ -371,7 +371,7 @@ func RunTable2(cfg Table2Config) Table2Result {
 			r := rng.New(repSeed, "setup")
 			setup := sim.DefaultTransitivitySetup(profile.FeatureKinds, r)
 			setup.MaxDepth = cfg.MaxDepth
-			sim.SeedExperienceFromFeatures(p, setup, r)
+			sim.SeedExperienceFromFeatures(p, setup, repSeed)
 			eng := sim.NewEngine(p, "table2")
 			ep := eng.TransitivityEpoch(setup)
 			for _, pol := range policies {

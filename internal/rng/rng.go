@@ -51,7 +51,11 @@ func New(seed uint64, labels ...string) *rand.Rand {
 
 // Split derives a child generator from a parent seed with an index, for use
 // in loops that need one independent stream per iteration (per experiment
-// run, per agent, ...).
+// run, per agent, ...). It is the sub-stream behind the parallel setup
+// pipeline: sim.NewPopulation and the seeding passes key one stream per
+// node on (seed, phase label, node), so work sharded across goroutines
+// draws identical randomness regardless of execution order — the same
+// recipe Split2 provides for the engine's (round, agent) rounds.
 func Split(seed uint64, label string, index int) *rand.Rand {
 	state := Mix(seed, label) ^ (uint64(index)+1)*0x9e3779b97f4a7c15
 	lo := splitmix64(&state)

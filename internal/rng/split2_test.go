@@ -28,3 +28,28 @@ func TestSplit2IndependentAcrossIndices(t *testing.T) {
 		t.Fatal("different label collided")
 	}
 }
+
+func TestSplitIndependentAcrossNodes(t *testing.T) {
+	// The parallel setup pipeline keys one Split stream per node; adjacent
+	// node indices (the common case inside one worker chunk) and the same
+	// index under other labels or seeds must all yield distinct streams.
+	base := Split(7, "seed-experience:facebook", 100).Uint64()
+	for _, idx := range []int{0, 99, 101, 1 << 20} {
+		if Split(7, "seed-experience:facebook", idx).Uint64() == base {
+			t.Fatalf("node %d collided with node 100", idx)
+		}
+	}
+	if Split(8, "seed-experience:facebook", 100).Uint64() == base {
+		t.Fatal("different seed collided")
+	}
+	if Split(7, "population-behavior:facebook", 100).Uint64() == base {
+		t.Fatal("different phase label collided")
+	}
+	// And the stream itself is reproducible.
+	a, b := Split(7, "x", 5), Split(7, "x", 5)
+	for i := 0; i < 16; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("identical (seed, label, index) produced different streams")
+		}
+	}
+}

@@ -135,7 +135,7 @@ func TestEngineTransitivityMatchesSerialPath(t *testing.T) {
 	p := NewPopulation(net, DefaultPopulationConfig(6))
 	r := p.Rand("transit")
 	setup := DefaultTransitivitySetup(5, r)
-	SeedExperience(p, setup, r)
+	SeedExperience(p, setup, 6)
 	for _, pol := range []core.Policy{core.PolicyTraditional, core.PolicyConservative, core.PolicyAggressive} {
 		serial := TransitivityRun(p, setup, pol, 6)
 		for _, workers := range []int{1, 4, 8} {
@@ -170,7 +170,7 @@ func TestEngineParallelSpeedup(t *testing.T) {
 	r := p.Rand("speedup")
 	setup := DefaultTransitivitySetup(5, r)
 	setup.MaxDepth = 3
-	SeedExperience(p, setup, r)
+	SeedExperience(p, setup, 6)
 	measure := func(workers int) time.Duration {
 		eng := &Engine{Pop: p, Parallelism: workers}
 		eng.TransitivityRun(setup, core.PolicyAggressive, 1) // warm the pools

@@ -8,7 +8,9 @@ package sim
 import (
 	"fmt"
 	"math/rand/v2"
+	"runtime"
 	"slices"
+	"sync"
 
 	"siot/internal/agent"
 	"siot/internal/core"
@@ -82,6 +84,13 @@ type Population struct {
 // Trustor responsibility is drawn uniformly from [0, 1] ("we assign each
 // trustor a trustworthiness value which is a random number in [0, 1]") and
 // trustee competence per characteristic is uniform in [0, 1] as in §5.5.
+//
+// The build is sharded over the population's worker pool
+// (PopulationConfig.Parallelism) with the engine's determinism recipe: the
+// role permutation is computed once, each node's behavior is drawn from a
+// private per-node rng sub-stream, and the Agents array and CSR adjacency
+// fill disjoint spans — so the result is bit-identical at every worker
+// count (TestPopulationParallelEquivalence).
 func NewPopulation(net *socialgen.Network, cfg PopulationConfig) *Population {
 	n := net.Graph.NumNodes()
 	if n == 0 {
@@ -90,44 +99,54 @@ func NewPopulation(net *socialgen.Network, cfg PopulationConfig) *Population {
 	if cfg.TrustorFrac < 0 || cfg.TrusteeFrac < 0 || cfg.TrustorFrac+cfg.TrusteeFrac > 1 {
 		panic(fmt.Sprintf("sim: invalid role fractions %v/%v", cfg.TrustorFrac, cfg.TrusteeFrac))
 	}
-	r := rng.New(cfg.Seed, "population", net.Profile.Name)
-	perm := r.Perm(n)
+	// The role permutation keeps the serial builder's derivation (it was
+	// the "population" stream's first draw), so role assignment is stable;
+	// only the behavior draws moved to per-node sub-streams.
+	perm := rng.New(cfg.Seed, "population", net.Profile.Name).Perm(n)
 	numTrustors := int(cfg.TrustorFrac * float64(n))
 	numTrustees := int(cfg.TrusteeFrac * float64(n))
-
-	p := &Population{Net: net, Agents: make([]*agent.Agent, n), cfg: cfg}
+	kinds := make([]agent.Kind, n)
 	for i, node := range perm {
-		id := core.AgentID(node)
-		var kind agent.Kind
 		switch {
 		case i < numTrustors:
-			kind = agent.KindTrustor
+			kinds[node] = agent.KindTrustor
 		case i < numTrustors+numTrustees:
-			kind = agent.KindTrustee
+			kinds[node] = agent.KindTrustee
 		default:
-			kind = agent.KindBystander
-		}
-		b := agent.Behavior{
-			BaseCompetence: r.Float64(),
-			Responsibility: r.Float64(),
-			Competence:     map[task.Characteristic]float64{},
-		}
-		a := agent.New(id, kind, b, cfg.Update)
-		a.Theta = cfg.Theta
-		p.Agents[node] = a
-		switch kind {
-		case agent.KindTrustor:
-			p.Trustors = append(p.Trustors, id)
-		case agent.KindTrustee:
-			p.Trustees = append(p.Trustees, id)
+			kinds[node] = agent.KindBystander
 		}
 	}
-	sortIDs(p.Trustors)
-	sortIDs(p.Trustees)
+
+	p := &Population{Net: net, Agents: make([]*agent.Agent, n), cfg: cfg}
+	workers := p.setupWorkers()
+	behaviorLabel := "population-behavior:" + net.Profile.Name
+	forNodes(n, workers, func(_, lo, hi int) {
+		for node := lo; node < hi; node++ {
+			r := rng.Split(cfg.Seed, behaviorLabel, node)
+			b := agent.Behavior{
+				BaseCompetence: r.Float64(),
+				Responsibility: r.Float64(),
+				Competence:     map[task.Characteristic]float64{},
+			}
+			a := agent.New(core.AgentID(node), kinds[node], b, cfg.Update)
+			a.Theta = cfg.Theta
+			p.Agents[node] = a
+		}
+	})
+	p.Trustors = make([]core.AgentID, 0, numTrustors)
+	p.Trustees = make([]core.AgentID, 0, numTrustees)
+	for node, k := range kinds {
+		switch k {
+		case agent.KindTrustor:
+			p.Trustors = append(p.Trustors, core.AgentID(node))
+		case agent.KindTrustee:
+			p.Trustees = append(p.Trustees, core.AgentID(node))
+		}
+	}
 	if cfg.Attack.Enabled() {
 		p.installAttackers()
 	}
-	p.buildCSR()
+	p.buildCSR(workers)
 	return p
 }
 
@@ -135,33 +154,101 @@ func sortIDs(ids []core.AgentID) {
 	slices.Sort(ids)
 }
 
+// setupWorkers resolves the worker-pool width of the population build and
+// seeding passes — the same rule as Engine.workers: the config's
+// Parallelism, falling back to GOMAXPROCS.
+func (p *Population) setupWorkers() int {
+	if p.cfg.Parallelism > 0 {
+		return p.cfg.Parallelism
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// forNodes runs fn over contiguous chunks of [0, n) on a pool of workers
+// and waits for completion. Chunks are disjoint, so fn may write per-node
+// state freely; each call is a barrier (later passes may read what earlier
+// ones wrote). fn also receives its worker index for per-worker
+// accumulation. Determinism is the caller's job: per-node rng sub-streams,
+// no reads of another chunk's in-flight writes.
+func forNodes(n, workers int, fn func(worker, lo, hi int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		fn(0, 0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo, hi := n*w/workers, n*(w+1)/workers
+		if lo == hi {
+			continue
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			fn(w, lo, hi)
+		}()
+	}
+	wg.Wait()
+}
+
 // buildCSR flattens the graph adjacency into shared CSR arrays and derives
 // the trustee-filtered variant plus the dense candidate mask. It runs after
 // role assignment (and attacker installation — both trustee kinds count as
-// candidates, so the mask is stable under the attack subsystem's kind flip).
-func (p *Population) buildCSR() {
+// candidates, so the mask is stable under the attack subsystem's kind
+// flip). Every pass either prefix-sums serially or fills disjoint spans in
+// parallel, so the arrays are identical at every worker count.
+func (p *Population) buildCSR(workers int) {
 	g := p.Net.Graph
 	n := g.NumNodes()
 	p.adjOff = make([]int32, n+1)
-	p.adjTo = make([]core.AgentID, 0, 2*g.NumEdges())
-	p.candMask = make([]bool, n)
 	for u := 0; u < n; u++ {
-		for _, v := range g.Neighbors(graph.NodeID(u)) {
-			p.adjTo = append(p.adjTo, core.AgentID(v))
-		}
-		p.adjOff[u+1] = int32(len(p.adjTo))
-		k := p.Agents[u].Kind
-		p.candMask[u] = k == agent.KindTrustee || k == agent.KindDishonestTrustee
+		p.adjOff[u+1] = p.adjOff[u] + int32(len(g.Neighbors(graph.NodeID(u))))
 	}
+	p.adjTo = make([]core.AgentID, p.adjOff[n])
+	p.candMask = make([]bool, n)
+	forNodes(n, workers, func(_, lo, hi int) {
+		for u := lo; u < hi; u++ {
+			span := p.adjTo[p.adjOff[u]:p.adjOff[u+1]]
+			for i, v := range g.Neighbors(graph.NodeID(u)) {
+				span[i] = core.AgentID(v)
+			}
+			k := p.Agents[u].Kind
+			p.candMask[u] = k == agent.KindTrustee || k == agent.KindDishonestTrustee
+		}
+	})
+	// Trustee-filtered CSR: per-node counts (reading the completed mask),
+	// serial prefix sum, then disjoint span fill.
+	trusteeCnt := make([]int32, n)
+	forNodes(n, workers, func(_, lo, hi int) {
+		for u := lo; u < hi; u++ {
+			c := int32(0)
+			for _, v := range p.adjTo[p.adjOff[u]:p.adjOff[u+1]] {
+				if p.candMask[v] {
+					c++
+				}
+			}
+			trusteeCnt[u] = c
+		}
+	})
 	p.trusteeOff = make([]int32, n+1)
 	for u := 0; u < n; u++ {
-		for _, v := range p.adjTo[p.adjOff[u]:p.adjOff[u+1]] {
-			if p.candMask[v] {
-				p.trusteeTo = append(p.trusteeTo, v)
+		p.trusteeOff[u+1] = p.trusteeOff[u] + trusteeCnt[u]
+	}
+	p.trusteeTo = make([]core.AgentID, p.trusteeOff[n])
+	forNodes(n, workers, func(_, lo, hi int) {
+		for u := lo; u < hi; u++ {
+			out := p.trusteeTo[p.trusteeOff[u]:p.trusteeOff[u+1]]
+			i := 0
+			for _, v := range p.adjTo[p.adjOff[u]:p.adjOff[u+1]] {
+				if p.candMask[v] {
+					out[i] = v
+					i++
+				}
 			}
 		}
-		p.trusteeOff[u+1] = int32(len(p.trusteeTo))
-	}
+	})
 }
 
 // Agent returns the agent at a node.

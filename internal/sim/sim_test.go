@@ -154,7 +154,7 @@ func TestSeedExperience(t *testing.T) {
 	p := NewPopulation(net, DefaultPopulationConfig(5))
 	r := p.Rand("seed")
 	setup := DefaultTransitivitySetup(5, r)
-	experienced := SeedExperience(p, setup, r)
+	experienced := SeedExperience(p, setup, 5)
 
 	holders := 0
 	for node, tasks := range experienced {
@@ -199,7 +199,7 @@ func TestTransitivityPolicyOrdering(t *testing.T) {
 	p := NewPopulation(net, DefaultPopulationConfig(6))
 	r := p.Rand("transit")
 	setup := DefaultTransitivitySetup(5, r)
-	SeedExperience(p, setup, r)
+	SeedExperience(p, setup, 6)
 
 	trad := TransitivityRun(p, setup, core.PolicyTraditional, 6)
 	cons := TransitivityRun(p, setup, core.PolicyConservative, 6)

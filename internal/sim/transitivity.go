@@ -56,140 +56,6 @@ func DefaultTransitivitySetup(numChars int, r *rand.Rand) TransitivitySetup {
 	}
 }
 
-// SeedExperience prepares the ground truth and experience records:
-//
-//   - every node gets a per-characteristic capability drawn uniformly from
-//     [0, 1] (stored in its agent behavior);
-//   - every node is assigned TasksPerNode experienced task types;
-//   - every social neighbor receives an experience record about the node
-//     for those tasks, with expectation tracking the node's true capability
-//     up to RecordNoise.
-//
-// It returns the per-node experienced task list for tests and reports.
-func SeedExperience(p *Population, setup TransitivitySetup, r *rand.Rand) [][]task.Task {
-	n := len(p.Agents)
-	experienced := make([][]task.Task, n)
-	// Ground-truth capabilities per characteristic.
-	for _, a := range p.Agents {
-		for c := 0; c < setup.Universe.NumCharacteristics; c++ {
-			a.Behavior.Competence[task.Characteristic(c)] = r.Float64()
-		}
-	}
-	// Experienced tasks and neighbor records. Newcomers (UnknownFrac) have
-	// no holders; otherwise a RecordDensity fraction of neighbors carries
-	// direct experience with the node.
-	density := setup.RecordDensity
-	if density <= 0 {
-		density = 1
-	}
-	for node, a := range p.Agents {
-		types := r.Perm(len(setup.Universe.Tasks))[:setup.TasksPerNode]
-		var holders []core.AgentID
-		if r.Float64() >= setup.UnknownFrac {
-			for _, u := range p.Neighbors(a.ID) {
-				if r.Float64() < density {
-					holders = append(holders, u)
-				}
-			}
-		}
-		for _, ti := range types {
-			tk := setup.Universe.Tasks[ti]
-			experienced[node] = append(experienced[node], tk)
-			// Having accomplished a task implies competence on its
-			// characteristics ("potential trustees who have accomplished
-			// tasks that contain ... the characteristics").
-			for _, ch := range tk.Characteristics() {
-				if a.Behavior.Competence[ch] < 0.55 {
-					a.Behavior.Competence[ch] = 0.55 + 0.4*r.Float64()
-				}
-			}
-			cap := a.Behavior.TaskCompetence(tk)
-			for _, u := range holders {
-				// The neighbor's record approaches the true capability.
-				s := clamp01(cap + setup.RecordNoise*(2*r.Float64()-1))
-				exp := core.Expectation{S: s, G: s, D: 1 - s, C: 0}
-				p.Agent(u).Store.Seed(a.ID, tk, exp)
-			}
-		}
-	}
-	return experienced
-}
-
-// SeedExperienceFromFeatures is the Table 2 variant of SeedExperience:
-// "some real-world node properties of the three social networks ...
-// represent task characteristics". The node's profile features (from the
-// network generator or loader) play the role of characteristics — a node is
-// genuinely capable on featured characteristics and weak elsewhere, and its
-// experienced tasks are drawn among universe tasks touching its features.
-func SeedExperienceFromFeatures(p *Population, setup TransitivitySetup, r *rand.Rand) [][]task.Task {
-	n := len(p.Agents)
-	experienced := make([][]task.Task, n)
-	feats := p.Net.Features
-	for node, a := range p.Agents {
-		have := map[task.Characteristic]bool{}
-		if node < len(feats) {
-			for _, f := range feats[node] {
-				have[task.Characteristic(f)] = true
-			}
-		}
-		for c := 0; c < setup.Universe.NumCharacteristics; c++ {
-			ch := task.Characteristic(c)
-			if have[ch] {
-				a.Behavior.Competence[ch] = 0.6 + 0.35*r.Float64()
-			} else {
-				a.Behavior.Competence[ch] = 0.3 * r.Float64()
-			}
-		}
-		// Prefer experienced tasks that touch the node's features.
-		var preferred, rest []int
-		for ti, tk := range setup.Universe.Tasks {
-			touches := false
-			for _, c := range tk.Characteristics() {
-				if have[c] {
-					touches = true
-					break
-				}
-			}
-			if touches {
-				preferred = append(preferred, ti)
-			} else {
-				rest = append(rest, ti)
-			}
-		}
-		r.Shuffle(len(preferred), func(i, j int) { preferred[i], preferred[j] = preferred[j], preferred[i] })
-		r.Shuffle(len(rest), func(i, j int) { rest[i], rest[j] = rest[j], rest[i] })
-		pick := append(append([]int(nil), preferred...), rest...)[:setup.TasksPerNode]
-		density := setup.RecordDensity
-		if density <= 0 {
-			density = 1
-		}
-		var holders []core.AgentID
-		if r.Float64() >= setup.UnknownFrac {
-			for _, u := range p.Neighbors(a.ID) {
-				if r.Float64() < density {
-					holders = append(holders, u)
-				}
-			}
-		}
-		for _, ti := range pick {
-			tk := setup.Universe.Tasks[ti]
-			experienced[node] = append(experienced[node], tk)
-			// Accomplished tasks imply competence on their characteristics.
-			for _, ch := range tk.Characteristics() {
-				if a.Behavior.Competence[ch] < 0.55 {
-					a.Behavior.Competence[ch] = 0.55 + 0.4*r.Float64()
-				}
-			}
-			cap := a.Behavior.TaskCompetence(tk)
-			for _, u := range holders {
-				s := clamp01(cap + setup.RecordNoise*(2*r.Float64()-1))
-				p.Agent(u).Store.Seed(a.ID, tk, core.Expectation{S: s, G: s, D: 1 - s, C: 0})
-			}
-		}
-	}
-	return experienced
-}
-
 // TransitivityStats aggregates the per-trustor results of one transitivity
 // run — the metrics of Figs. 9–12 and Table 2.
 type TransitivityStats struct {

@@ -24,7 +24,7 @@ func viewTestPopulation(t *testing.T, seed uint64, numChars int) (*Population, T
 	r := p.Rand("view-test")
 	setup := DefaultTransitivitySetup(numChars, r)
 	setup.MaxDepth = 3
-	SeedExperience(p, setup, r)
+	SeedExperience(p, setup, seed)
 	return p, setup
 }
 

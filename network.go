@@ -112,6 +112,22 @@ func NewPopulation(net *SocialNetwork, cfg PopulationConfig) *Population {
 // population.
 func NewEngine(p *Population, label string) *Engine { return sim.NewEngine(p, label) }
 
+// SeedExperience prepares the transitivity ground truth and experience
+// records over a population: per-characteristic capabilities, experienced
+// task types, and neighbor-held records. Randomness derives from seed
+// through per-node sub-streams sharded over the population's worker pool;
+// the result is bit-identical at every parallelism. Returns the per-node
+// experienced task list.
+func SeedExperience(p *Population, setup TransitivitySetup, seed uint64) [][]Task {
+	return sim.SeedExperience(p, setup, seed)
+}
+
+// SeedExperienceFromFeatures is the SeedExperience variant that maps node
+// profile features to task characteristics (the paper's Table 2 setup).
+func SeedExperienceFromFeatures(p *Population, setup TransitivitySetup, seed uint64) [][]Task {
+	return sim.SeedExperienceFromFeatures(p, setup, seed)
+}
+
 // ---- Adversary subsystem (internal/adversary) ----
 
 // Attack is one trust-attack model: bad-mouthing, ballot-stuffing,

@@ -75,6 +75,12 @@ type Store = core.Store
 // Record is accumulated experience about one (trustee, task type) pair.
 type Record = core.Record
 
+// SeedRecord is one entry of a bulk seeding batch for Store.SeedSorted:
+// the trustee, the task, and the expectation to install. Batches sorted
+// ascending by (Trustee, task type) ingest in one pass — the fast path
+// behind large-population experiment setup.
+type SeedRecord = core.SeedRecord
+
 // UsageLog is the trustee-side record behind the reverse evaluation.
 type UsageLog = core.UsageLog
 
