@@ -77,6 +77,23 @@ func BenchmarkTransitivity100k(b *testing.B) {
 	}
 }
 
+// BenchmarkRounds100k plays one full mutuality round — snapshot capture,
+// lock-free compute phase, ordered merge — on the 100k-node, 500k-edge
+// network. The snapshot-round refactor unlocked this scale: the compute
+// phase reads a per-round frozen core.RoundView through the engine's epoch
+// handle instead of contending on live store shards, so rounds parallelize
+// as cleanly as the transitivity sweeps.
+func BenchmarkRounds100k(b *testing.B) {
+	p, _ := benchnet.Population100k()
+	eng := &sim.Engine{Pop: p, Parallelism: 0, Label: "bench"}
+	tk := task.Uniform(1, task.CharCompute)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var c sim.MutualityCounters
+		eng.MutualityRound(i, tk, &c)
+	}
+}
+
 // BenchmarkTransitivity10kPooled measures the warm repeated-sweep loop the
 // arena pool exists for: one epoch Reset (pooled re-capture) plus one full
 // aggressive run per op. Bytes/op must stay far below the ~22.9 MB/op a

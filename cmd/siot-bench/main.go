@@ -12,10 +12,11 @@
 //
 // With -json, siot-bench runs the machine-readable perf suite instead of
 // the experiments: it times the engine's standard workloads (delegation
-// rounds, frozen-epoch transitivity sweeps at 1k, 10k, and 100k nodes,
-// the pooled trust-view capture, the bulk experience-seeding pass, the
-// full 100k populate+seed setup, a single warm search) and appends an
-// entry to the JSON history file, tracking the perf trajectory across PRs.
+// rounds at 1k nodes, snapshot mutuality rounds at 100k nodes, frozen-epoch
+// transitivity sweeps at 1k, 10k, and 100k nodes, the pooled trust-view
+// capture, the bulk experience-seeding pass, the full 100k populate+seed
+// setup, a single warm search) and appends an entry to the JSON history
+// file, tracking the perf trajectory across PRs.
 //
 // With -compare, the suite additionally diffs the fresh measurements
 // against the file's previous last entry and exits non-zero when any

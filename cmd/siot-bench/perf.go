@@ -173,6 +173,26 @@ func benchTransitivity100kWorkload(workers int) (testing.BenchmarkResult, sim.Tr
 	return res, st
 }
 
+// benchRounds100kWorkload times one full 100k-node mutuality round per op:
+// snapshot capture through the epoch handle, lock-free compute phase over
+// the worker pool, single-threaded ordered merge. The population is built
+// once; counters accumulate across ops and come back for the entry record.
+func benchRounds100kWorkload(workers int) (testing.BenchmarkResult, sim.MutualityCounters) {
+	p, _ := benchnet.Population100k()
+	eng := &sim.Engine{Pop: p, Parallelism: workers, Label: "perf"}
+	tk := task.Uniform(1, task.CharCompute)
+	var c sim.MutualityCounters
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		c = sim.MutualityCounters{}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			eng.MutualityRound(i, tk, &c)
+		}
+	})
+	return res, c
+}
+
 // benchFindWorkload times one warm aggressive search over a frozen epoch
 // (the 0 allocs/op guard's workload). Pure read: built once.
 func benchFindWorkload(nodes int) (testing.BenchmarkResult, int) {
@@ -273,6 +293,14 @@ func runPerfSuite(path, label, note string, compare bool) error {
 	r.Counters = map[string]float64{
 		"requests":           float64(st100.Requests),
 		"potential_trustees": float64(st100.PotentialTrustees),
+	}
+	entry.Benchmarks = append(entry.Benchmarks, r)
+
+	rounds100k, c100 := benchRounds100kWorkload(0)
+	r = timed("rounds-100k", rounds100k)
+	r.Counters = map[string]float64{
+		"requests":  float64(c100.Requests),
+		"successes": float64(c100.Successes),
 	}
 	entry.Benchmarks = append(entry.Benchmarks, r)
 

@@ -118,10 +118,9 @@ func TestIntegrationStorePersistenceAcrossSimulation(t *testing.T) {
 	net := socialgen.Generate(socialgen.Twitter(), 4)
 	p := sim.NewPopulation(net, sim.DefaultPopulationConfig(4))
 	tk := task.Uniform(1, task.CharCompute)
-	r := p.Rand("persist")
 	var c sim.MutualityCounters
 	for round := 0; round < 10; round++ {
-		sim.MutualityRound(p, tk, r, &c)
+		sim.MutualityRound(p, round, tk, &c)
 	}
 	// Snapshot the first trustor's store and restore it.
 	x := p.Trustors[0]

@@ -1,0 +1,121 @@
+package core
+
+import (
+	"slices"
+
+	"siot/internal/task"
+)
+
+// RoundView is the frozen-epoch snapshot of everything a delegation round's
+// compute phase reads: the per-edge experience records of a TrustView plus,
+// for every directed social edge (u, v), the usage log u keeps about v — the
+// substrate of the reverse evaluation (eq. 1). Where the TrustView serves
+// the pure transitivity sweeps, the RoundView serves the mutuality rounds:
+// direct-experience lookup (BestTW), one-hop recommendation gathering
+// (EdgeIndex + BestTW per recommender), and the usage counters (ReverseTW)
+// all come from contiguous captured arenas, so the compute phase of a round
+// takes zero store locks (pinned by TestMutualityComputePhaseLockFree).
+//
+// Like the TrustView it embeds, a RoundView is immutable after capture and
+// safe for concurrent readers. It freezes the state left by the previous
+// round's merge; the engine captures one per round boundary and the merge
+// phase (the only store writer) invalidates it. The records a round reads
+// always live along social edges — experience is only ever seeded at or
+// observed by social neighbors — which is what lets a per-edge arena stand
+// in for the live stores.
+type RoundView struct {
+	*TrustView
+	norm Normalizer
+	// resp[e]/abus[e] are the responsible/abusive usage counts the source
+	// agent of directed edge e keeps about the target agent.
+	resp, abus []int32
+}
+
+// RoundSource is the store access a round-view capture needs: the record
+// counting and filling pass of a trust-view capture, plus the usage log one
+// agent keeps about another (Store.Usage). Usage must observe the same
+// quiescent stores as the record passes.
+type RoundSource struct {
+	CaptureSource
+	Usage func(holder, about AgentID) UsageLog
+}
+
+// CaptureRoundView freezes a population's full round-read state: the
+// per-edge records via CaptureTrustViewParallel (two passes, byte-identical
+// at every worker count) and the per-edge usage counters in one more
+// parallel pass over the CSR rows. Arenas are drawn from pool when non-nil;
+// release them with Release. The adjacency rows must be in ascending target
+// order (the population CSR is; EdgeIndex relies on it).
+func CaptureRoundView(adjOff []int32, adjTo []AgentID, src RoundSource, norm Normalizer, workers int, pool *ArenaPool) *RoundView {
+	ne := len(adjTo)
+	v := &RoundView{
+		TrustView: CaptureTrustViewParallel(adjOff, adjTo, src.CaptureSource, workers, pool),
+		norm:      norm,
+		resp:      pool.GetOffsets(ne),
+		abus:      pool.GetOffsets(ne),
+	}
+	parallelRows(adjOff, workers, func(lo, hi int) {
+		for u := lo; u < hi; u++ {
+			base := adjOff[u]
+			for k, w := range adjTo[base:adjOff[u+1]] {
+				l := src.Usage(AgentID(u), w)
+				e := int(base) + k
+				v.resp[e], v.abus[e] = int32(l.Responsible), int32(l.Abusive)
+			}
+		}
+	})
+	return v
+}
+
+// Release returns the view's arenas — the embedded trust view's and the
+// usage arrays — to the pool they were captured from and invalidates the
+// view. Only the capture's owner may call it, exactly once; the EpochHandle
+// refcount in the sim layer enforces this for the round path.
+func (v *RoundView) Release() {
+	pool := v.TrustView.pool
+	pool.putOffsets(v.resp)
+	pool.putOffsets(v.abus)
+	v.resp, v.abus = nil, nil
+	v.TrustView.Release()
+}
+
+// EdgeIndex locates the directed edge u → w in the CSR edge array, or
+// ok=false when w is not a neighbor of u. Rows are in ascending target
+// order, so the lookup is a binary search within u's row.
+func (v *TrustView) EdgeIndex(u, w AgentID) (int32, bool) {
+	lo, hi := v.adjOff[u], v.adjOff[u+1]
+	i, ok := slices.BinarySearch(v.adjTo[lo:hi], w)
+	if !ok {
+		return 0, false
+	}
+	return lo + int32(i), true
+}
+
+// BestTW returns the best trustworthiness estimate the source agent of
+// directed edge e holds about the edge's target on task t: the direct
+// record for t's exact type when present, otherwise characteristic
+// inference — bit-identical to Store.BestTW over the captured records
+// (TestRoundViewMatchesLiveStores).
+func (v *RoundView) BestTW(e int32, t task.Task) (float64, bool) {
+	recs := v.EdgeRecords(e)
+	if i, ok := searchRecord(recs, t.Type()); ok {
+		return recs[i].TW(v.norm), true
+	}
+	if len(recs) == 0 {
+		return 0, false
+	}
+	return InferFromRecords(recs, t, v.norm)
+}
+
+// Usage returns the captured usage log of directed edge e: how the edge's
+// target has used the source agent's resources up to the capture.
+func (v *RoundView) Usage(e int32) UsageLog {
+	return UsageLog{Responsible: int(v.resp[e]), Abusive: int(v.abus[e])}
+}
+
+// ReverseTW returns the reverse-evaluation trustworthiness of directed edge
+// e (eq. 1's TW̃ from the captured usage log) — bit-identical to
+// Store.ReverseTW at capture time.
+func (v *RoundView) ReverseTW(e int32) float64 {
+	return v.Usage(e).TW()
+}

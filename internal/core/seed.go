@@ -75,6 +75,7 @@ func (s *Store) SeedSorted(batch []SeedRecord) error {
 // same-type ones exactly as Seed would.
 func (s *Store) seedGroup(trustee AgentID, group []Record) {
 	sh := s.shard(trustee)
+	storeLockTick()
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	existing := sh.records[trustee]

@@ -86,6 +86,7 @@ func (s *Store) Config() UpdateConfig { return s.cfg }
 // Record returns the experience record for (trustee, task type), if any.
 func (s *Store) Record(trustee AgentID, typ task.Type) (Record, bool) {
 	sh := s.shard(trustee)
+	storeLockTick()
 	sh.mu.RLock()
 	defer sh.mu.RUnlock()
 	recs := sh.records[trustee]
@@ -106,6 +107,7 @@ func (s *Store) Records(trustee AgentID) []Record {
 // keeps the hot read path of the transitivity search allocation-free.
 func (s *Store) AppendRecords(trustee AgentID, buf []Record) []Record {
 	sh := s.shard(trustee)
+	storeLockTick()
 	sh.mu.RLock()
 	defer sh.mu.RUnlock()
 	recs := sh.records[trustee]
@@ -121,6 +123,7 @@ func (s *Store) AppendRecords(trustee AgentID, buf []Record) []Record {
 // before filling it.
 func (s *Store) RecordCount(trustee AgentID) int {
 	sh := s.shard(trustee)
+	storeLockTick()
 	sh.mu.RLock()
 	defer sh.mu.RUnlock()
 	return len(sh.records[trustee])
@@ -131,6 +134,7 @@ func (s *Store) NumRecords() int {
 	n := 0
 	for i := range s.shards {
 		sh := &s.shards[i]
+		storeLockTick()
 		sh.mu.RLock()
 		for _, recs := range sh.records {
 			n += len(recs)
@@ -146,6 +150,7 @@ func (s *Store) Trustees() []AgentID {
 	var out []AgentID
 	for i := range s.shards {
 		sh := &s.shards[i]
+		storeLockTick()
 		sh.mu.RLock()
 		for id := range sh.records {
 			out = append(out, id)
@@ -160,6 +165,7 @@ func (s *Store) Trustees() []AgentID {
 // (post-evaluation, eqs. 19–22 / 25–28) and returns the updated record.
 func (s *Store) Observe(trustee AgentID, t task.Task, o Outcome, ectx EnvContext) Record {
 	sh := s.shard(trustee)
+	storeLockTick()
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	recs := sh.records[trustee]
@@ -187,6 +193,7 @@ func (s *Store) Seed(trustee AgentID, t task.Task, exp Expectation) {
 // setRecord installs or replaces the record for the task type of r.Task.
 func (s *Store) setRecord(trustee AgentID, r Record) {
 	sh := s.shard(trustee)
+	storeLockTick()
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	recs := sh.records[trustee]
@@ -225,6 +232,7 @@ func (s *Store) DirectTW(trustee AgentID, typ task.Type) (float64, bool) {
 // other experienced task.
 func (s *Store) InferTW(trustee AgentID, t task.Task) (tw float64, ok bool) {
 	sh := s.shard(trustee)
+	storeLockTick()
 	sh.mu.RLock()
 	defer sh.mu.RUnlock()
 	recs := sh.records[trustee]
@@ -278,6 +286,7 @@ func (l UsageLog) TW() float64 {
 
 // Usage returns the usage log the store keeps about a trustor.
 func (s *Store) Usage(trustor AgentID) UsageLog {
+	storeLockTick()
 	s.usageMu.RLock()
 	defer s.usageMu.RUnlock()
 	if l, ok := s.usage[trustor]; ok {
@@ -288,6 +297,7 @@ func (s *Store) Usage(trustor AgentID) UsageLog {
 
 // usageSorted returns all usage logs ordered by trustor ID (for snapshots).
 func (s *Store) usageSorted() []usageSnapshot {
+	storeLockTick()
 	s.usageMu.RLock()
 	defer s.usageMu.RUnlock()
 	out := make([]usageSnapshot, 0, len(s.usage))
@@ -300,6 +310,7 @@ func (s *Store) usageSorted() []usageSnapshot {
 
 // ObserveUsage records one use of this agent's resources by trustor.
 func (s *Store) ObserveUsage(trustor AgentID, abusive bool) {
+	storeLockTick()
 	s.usageMu.Lock()
 	defer s.usageMu.Unlock()
 	if s.usage == nil {
@@ -324,9 +335,11 @@ func (s *Store) ObserveUsage(trustor AgentID, abusive bool) {
 // nobody remembers.
 func (s *Store) Forget(about AgentID) {
 	sh := s.shard(about)
+	storeLockTick()
 	sh.mu.Lock()
 	delete(sh.records, about)
 	sh.mu.Unlock()
+	storeLockTick()
 	s.usageMu.Lock()
 	delete(s.usage, about)
 	s.usageMu.Unlock()

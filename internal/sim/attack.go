@@ -84,12 +84,15 @@ func (e *Engine) attackContext(label string, round int) adversary.Context {
 // recommendedTW gathers one-hop recommendations about candidate y on task
 // tk from the recommenders in nbrs — the trustor's social neighbors,
 // precomputed by Engine.init and including y itself (the self-claim
-// channel of service discovery). Each recommender reports what its store
-// knows, except that attackers may forge their report through the attack
-// model's recommendation hook. Returns the mean report, or ok=false when
-// nobody has anything to say. Read-only and deterministic: safe to call
-// from the engine's parallel compute phase.
-func (e *Engine) recommendedTW(ctx adversary.Context, nbrs []core.AgentID, y core.AgentID, tk task.Task) (float64, bool) {
+// channel of service discovery). Each recommender reports what the frozen
+// view captured of its store — the z→y edge's records — except that
+// attackers may forge their report through the attack model's
+// recommendation hook. A recommender without a social edge to y holds no
+// records about it (experience lives only along edges), so an EdgeIndex
+// miss contributes nothing, exactly like an empty live store. Returns the
+// mean report, or ok=false when nobody has anything to say. Reads only the
+// view: safe inside the engine's lock-free compute phase.
+func (e *Engine) recommendedTW(view *core.RoundView, ctx adversary.Context, nbrs []core.AgentID, y core.AgentID, tk task.Task) (float64, bool) {
 	p := e.Pop
 	model := p.cfg.Attack.Model
 	var sum float64
@@ -102,9 +105,11 @@ func (e *Engine) recommendedTW(ctx adversary.Context, nbrs []core.AgentID, y cor
 				continue
 			}
 		}
-		if tw, ok := p.Agent(z).Store.BestTW(y, tk); ok {
-			sum += tw
-			n++
+		if edge, ok := view.EdgeIndex(z, y); ok {
+			if tw, ok := view.BestTW(edge, tk); ok {
+				sum += tw
+				n++
+			}
 		}
 	}
 	if n == 0 {
@@ -151,7 +156,9 @@ func (e *Engine) applyChurn(ctx adversary.Context) {
 // own experience first, one-hop recommendations (attackers forging theirs)
 // for strangers, the neutral prior when nobody knows anything. It returns
 // the averages over honest trustee candidates and attacker candidates; the
-// difference is the trust gap the resilience metrics track. Read-only.
+// difference is the trust gap the resilience metrics track. Read-only: it
+// publishes a probe epoch through the Rounds handle, reads the snapshot,
+// and retires it (the live stores are untouched, so the snapshot is exact).
 func (e *Engine) PerceivedTrust(round int, tk task.Task) (honest, attacker float64) {
 	e.init()
 	p := e.Pop
@@ -160,11 +167,14 @@ func (e *Engine) PerceivedTrust(round int, tk task.Task) (honest, attacker float
 	if enabled {
 		ctx = e.attackContext(e.mutualityLabel(), round)
 	}
+	e.Rounds.Publish(p.RoundView(e.workers(), epochArenas))
+	ep := e.Rounds.Acquire()
+	view := ep.View()
 	var honestSum, attackerSum float64
 	honestN, attackerN := 0, 0
-	for i, x := range p.Trustors {
-		for _, y := range e.trusteeNbrs[i] {
-			tw := e.candidateTW(enabled, ctx, i, x, y, tk)
+	for i := range p.Trustors {
+		for k, y := range e.trusteeNbrs[i] {
+			tw := e.candidateTW(view, enabled, ctx, i, e.trusteeEdges[i][k], y, tk)
 			if p.attackers[y] {
 				attackerSum += tw
 				attackerN++
@@ -174,6 +184,8 @@ func (e *Engine) PerceivedTrust(round int, tk task.Task) (honest, attacker float
 			}
 		}
 	}
+	ep.Release()
+	e.Rounds.Retire()
 	if honestN > 0 {
 		honest = honestSum / float64(honestN)
 	}

@@ -1,0 +1,125 @@
+package sim
+
+import (
+	"bufio"
+	"crypto/sha256"
+	"encoding/hex"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"siot/internal/adversary"
+	"siot/internal/task"
+)
+
+var updateAttackGolden = flag.Bool("update-attack-golden", false,
+	"regenerate testdata/attack_rounds.golden from the current round implementation")
+
+// attackRoundDigest plays the canonical attacked-round scenario (the
+// TestAttackParallelismInvariant configuration: twitter profile, seed 11,
+// 20 attackers, 12 rounds) at the given parallelism and digests everything
+// observable: the counters, the full post-run trust state, and a
+// PerceivedTrust probe after the final round.
+func attackRoundDigest(t *testing.T, model adversary.Attack, parallelism int) string {
+	t.Helper()
+	var atk AttackConfig
+	if model != nil {
+		atk = AttackConfig{Model: model, Attackers: 20}
+	}
+	p := attackPopulation(t, 11, atk, parallelism)
+	eng := NewEngine(p, "attack-test")
+	tk := task.Uniform(1, task.CharCompute)
+	var c MutualityCounters
+	for round := 0; round < 12; round++ {
+		eng.MutualityRound(round, tk, &c)
+	}
+	honest, attacker := eng.PerceivedTrust(11, tk)
+	h := sha256.New()
+	fmt.Fprintf(h, "counters %+v\nperceived %v %v\n", c, honest, attacker)
+	fmt.Fprint(h, fingerprint(p))
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// attackGoldenModels is the fixed model set of the round-fingerprint golden
+// file: the honest null model, every solo attack, two collusion wrappers,
+// and the no-attack baseline (keyed "none") whose hook-free round must also
+// stay byte-stable.
+func attackGoldenModels() map[string]adversary.Attack {
+	models := map[string]adversary.Attack{"none": nil}
+	for _, m := range attackModels() {
+		models[m.Name()] = m
+	}
+	return models
+}
+
+const attackGoldenPath = "testdata/attack_rounds.golden"
+
+// TestAttackRoundsMatchGolden pins the attacked engine round byte-for-byte
+// across refactors: the golden digests were generated on the pre-snapshot
+// live-store round implementation, so any change to what a round reads,
+// draws, or merges — for any attack model, at P=1 and P=8 — shows up as a
+// digest mismatch. Regenerate (deliberately!) with -update-attack-golden.
+func TestAttackRoundsMatchGolden(t *testing.T) {
+	models := attackGoldenModels()
+	if *updateAttackGolden {
+		names := make([]string, 0, len(models))
+		for name := range models {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		var sb strings.Builder
+		sb.WriteString("# sha256 digests of the canonical attacked-round scenario (see attack_golden_test.go)\n")
+		for _, name := range names {
+			sb.WriteString(fmt.Sprintf("%s %s\n", name, attackRoundDigest(t, models[name], 1)))
+		}
+		if err := os.MkdirAll(filepath.Dir(attackGoldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(attackGoldenPath, []byte(sb.String()), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("regenerated %s with %d digests", attackGoldenPath, len(names))
+		return
+	}
+	f, err := os.Open(attackGoldenPath)
+	if err != nil {
+		t.Fatalf("golden file missing (generate with -update-attack-golden): %v", err)
+	}
+	defer f.Close()
+	want := map[string]string{}
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			t.Fatalf("malformed golden line %q", line)
+		}
+		want[fields[0]] = fields[1]
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(want) != len(models) {
+		t.Fatalf("golden file has %d digests, want %d (regenerate with -update-attack-golden)", len(want), len(models))
+	}
+	for name, model := range models {
+		t.Run(name, func(t *testing.T) {
+			expect, ok := want[name]
+			if !ok {
+				t.Fatalf("no golden digest for model %q", name)
+			}
+			for _, parallelism := range []int{1, 8} {
+				if got := attackRoundDigest(t, model, parallelism); got != expect {
+					t.Errorf("P=%d digest %s differs from pre-refactor golden %s", parallelism, got, expect)
+				}
+			}
+		})
+	}
+}

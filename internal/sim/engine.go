@@ -31,9 +31,12 @@ import (
 // produce the same bytes.
 //
 // The price is round semantics: within one round every trustor decides
-// against the state left by the previous round (simultaneous requests),
-// rather than observing the effects of trustors processed earlier in the
-// same round as the legacy serial helpers (MutualityRound) do.
+// against the state left by the previous round (simultaneous requests) —
+// which is precisely what lets the compute phase read a frozen snapshot.
+// Each round publishes a core.RoundView of the previous round's state
+// through the Rounds handle; the compute phase reads only that view (zero
+// store locks — TestMutualityComputePhaseLockFree) and the merge phase is
+// the only store writer.
 type Engine struct {
 	Pop *Population
 	// Parallelism is the worker-pool width. 0 falls back to the population
@@ -42,10 +45,17 @@ type Engine struct {
 	// Label separates the engine's random streams from other phases run on
 	// the same population (e.g. one label per figure).
 	Label string
+	// Rounds is the epoch seam of the mutuality rounds: every round
+	// publishes its frozen snapshot here before the compute phase and
+	// retires it after the merge. External readers (a serving layer, an
+	// experiment probe) may Acquire the current epoch at any time and keep
+	// reading it safely across the swap.
+	Rounds EpochHandle
 
-	initOnce    sync.Once
-	trusteeNbrs [][]core.AgentID // trustee-kind neighbors per trustor position
-	socialNbrs  [][]core.AgentID // all neighbors per trustor position (attack scenarios only)
+	initOnce     sync.Once
+	trusteeNbrs  [][]core.AgentID // trustee-kind neighbors per trustor position
+	trusteeEdges [][]int32        // CSR edge index per trustee neighbor, same shape as trusteeNbrs
+	socialNbrs   [][]core.AgentID // all neighbors per trustor position (attack scenarios only)
 }
 
 // NewEngine returns an engine over the population using its configured
@@ -66,18 +76,30 @@ func (e *Engine) workers() int {
 }
 
 // init precomputes the per-trustor neighbor lists so rounds do not
-// re-derive (and re-allocate) them every time. The full social-neighbor
+// re-derive (and re-allocate) them every time, plus the CSR edge index of
+// every trustee neighbor — round views index records and usage by directed
+// edge, and the graph is frozen, so the trustor→candidate edge of every
+// candidate lookup is known once and for all. The full social-neighbor
 // lists feed the recommendation channel, which only attack scenarios use.
 func (e *Engine) init() {
 	e.initOnce.Do(func() {
-		e.trusteeNbrs = make([][]core.AgentID, len(e.Pop.Trustors))
-		for i, x := range e.Pop.Trustors {
-			e.trusteeNbrs[i] = e.Pop.TrusteeNeighbors(x)
+		p := e.Pop
+		e.trusteeNbrs = make([][]core.AgentID, len(p.Trustors))
+		e.trusteeEdges = make([][]int32, len(p.Trustors))
+		for i, x := range p.Trustors {
+			e.trusteeNbrs[i] = p.TrusteeNeighbors(x)
+			edges := make([]int32, 0, len(e.trusteeNbrs[i]))
+			for k, v := range p.adjTo[p.adjOff[x]:p.adjOff[x+1]] {
+				if p.candMask[v] {
+					edges = append(edges, p.adjOff[x]+int32(k))
+				}
+			}
+			e.trusteeEdges[i] = edges
 		}
-		if e.Pop.AttackEnabled() {
-			e.socialNbrs = make([][]core.AgentID, len(e.Pop.Trustors))
-			for i, x := range e.Pop.Trustors {
-				e.socialNbrs[i] = e.Pop.Neighbors(x)
+		if p.AttackEnabled() {
+			e.socialNbrs = make([][]core.AgentID, len(p.Trustors))
+			for i, x := range p.Trustors {
+				e.socialNbrs[i] = p.Neighbors(x)
 			}
 		}
 	})
@@ -91,20 +113,38 @@ func (e *Engine) mutualityLabel() string {
 }
 
 // candidateTW scores candidate trustee y for the trustor at position i the
-// way a mutuality round does: direct experience first, the one-hop
-// recommendation channel (attack scenarios only, with attackers forging)
-// for strangers, the neutral prior when nobody knows anything. Read-only.
-func (e *Engine) candidateTW(attacked bool, ctx adversary.Context, i int, x, y core.AgentID, tk task.Task) float64 {
-	tw, ok := e.Pop.Agent(x).Store.BestTW(y, tk)
+// way a mutuality round does: direct experience first (edge is the
+// trustor→y edge in the view), the one-hop recommendation channel (attack
+// scenarios only, with attackers forging) for strangers, the neutral prior
+// when nobody knows anything. Reads only the frozen view.
+func (e *Engine) candidateTW(view *core.RoundView, attacked bool, ctx adversary.Context, i int, edge int32, y core.AgentID, tk task.Task) float64 {
+	tw, ok := view.BestTW(edge, tk)
 	if ok {
 		return tw
 	}
 	if attacked {
-		if rec, ok := e.recommendedTW(ctx, e.socialNbrs[i], y, tk); ok {
+		if rec, ok := e.recommendedTW(view, ctx, e.socialNbrs[i], y, tk); ok {
 			return rec
 		}
 	}
 	return 0.5 // neutral prior before any experience
+}
+
+// acceptsDelegation is the reverse evaluation (eq. 1) of candidate trustee
+// y against requesting trustor x on the frozen view: y compares the
+// reverse trustworthiness implied by its captured usage log about x with
+// its threshold θ. The agent.AcceptsDelegation live-store equivalent, for
+// the compute phase. An absent y→x edge means an empty log (records and
+// logs live only along social edges), which scores the optimistic 1.
+func (e *Engine) acceptsDelegation(view *core.RoundView, y, x core.AgentID) bool {
+	theta := e.Pop.Agent(y).Theta
+	if theta <= 0 {
+		return true
+	}
+	if edge, ok := view.EdgeIndex(y, x); ok {
+		return view.ReverseTW(edge) >= theta
+	}
+	return (core.UsageLog{}).TW() >= theta
 }
 
 // mapTrustors computes fn for every trustor on a pool of workers and
@@ -156,24 +196,56 @@ type mutualityAction struct {
 // trustor-ID order. round indexes the random sub-streams and must advance
 // every call.
 //
+// The round is the canonical epoch cycle: a core.RoundView of the previous
+// round's state is captured and published through the Rounds handle, the
+// compute phase fans out reading only that snapshot (no store locks), the
+// single-threaded merge writes the stores, and the epoch retires — stale
+// by construction once the merge ran. Readers holding an Acquire across
+// the swap keep their snapshot alive; the arenas recycle through the
+// shared epoch pool.
+//
 // When the population carries an attack scenario (PopulationConfig.Attack),
 // three adversary hooks fire: trustors without direct experience of a
-// candidate gather one-hop recommendations that attackers may forge; a
-// pre-merge pass lets active attackers sabotage the outcomes of the
-// delegations they serve; and a post-merge pass lets whitewashing attackers
-// shed their identity. With no attack configured every hook is skipped and
-// the round is bit-identical to the pre-adversary engine.
+// candidate gather one-hop recommendations that attackers may forge (off
+// the snapshot, inside the compute phase); a pre-merge pass lets active
+// attackers sabotage the outcomes of the delegations they serve; and a
+// post-merge pass lets whitewashing attackers shed their identity. With no
+// attack configured every hook is skipped and the round is bit-identical
+// to the pre-adversary engine.
 func (e *Engine) MutualityRound(round int, tk task.Task, c *MutualityCounters) {
 	e.init()
 	p := e.Pop
-	label := e.mutualityLabel()
-	actCfg := agent.DefaultActConfig()
 	attacked := p.AttackEnabled()
 	var actx adversary.Context
 	if attacked {
-		actx = e.attackContext(label, round)
+		actx = e.attackContext(e.mutualityLabel(), round)
 	}
-	acts := mapTrustors(p.Trustors, e.workers(), func(i int, x core.AgentID) mutualityAction {
+	e.Rounds.Publish(p.RoundView(e.workers(), epochArenas))
+	ep := e.Rounds.Acquire()
+	acts := e.computeMutualityActs(ep.View(), attacked, actx, round, tk)
+	ep.Release()
+	if attacked {
+		// Pre-merge hook: active attackers rewrite their buffered outcomes.
+		e.applyAttack(actx, acts)
+	}
+	e.mergeMutualityActs(attacked, tk, acts, c)
+	e.Rounds.Retire() // the merge wrote the stores; the epoch is stale
+	if attacked {
+		// Post-merge hook: whitewashing attackers shed their identity.
+		e.applyChurn(actx)
+	}
+}
+
+// computeMutualityActs is the round's parallel compute phase: every trustor
+// decides against the frozen view — candidate scoring, reverse evaluation,
+// outcome and abuse draws — and buffers its action. It reads no live store
+// (TestMutualityComputePhaseLockFree pins this at zero lock acquisitions)
+// and writes nothing shared, so any worker count produces identical bytes.
+func (e *Engine) computeMutualityActs(view *core.RoundView, attacked bool, actx adversary.Context, round int, tk task.Task) []mutualityAction {
+	p := e.Pop
+	label := e.mutualityLabel()
+	actCfg := agent.DefaultActConfig()
+	return mapTrustors(p.Trustors, e.workers(), func(i int, x core.AgentID) mutualityAction {
 		nbrs := e.trusteeNbrs[i]
 		if len(nbrs) == 0 {
 			return mutualityAction{} // socially isolated from trustees: not a request
@@ -181,13 +253,13 @@ func (e *Engine) MutualityRound(round int, tk task.Task, c *MutualityCounters) {
 		r := rng.Split2(p.cfg.Seed, label, round, int(x))
 		trustor := p.Agent(x)
 		cands := make([]core.Candidate, 0, len(nbrs))
-		for _, y := range nbrs {
+		for k, y := range nbrs {
 			// Strangers are judged by one-hop recommendations, which
 			// attackers may forge (candidateTW).
-			cands = append(cands, core.Candidate{ID: y, TW: e.candidateTW(attacked, actx, i, x, y, tk)})
+			cands = append(cands, core.Candidate{ID: y, TW: e.candidateTW(view, attacked, actx, i, e.trusteeEdges[i][k], y, tk)})
 		}
 		chosen, ok := core.SelectMutual(cands, func(y core.AgentID) bool {
-			return p.Agent(y).AcceptsDelegation(x)
+			return e.acceptsDelegation(view, y, x)
 		})
 		if !ok {
 			return mutualityAction{requested: true}
@@ -197,10 +269,13 @@ func (e *Engine) MutualityRound(round int, tk task.Task, c *MutualityCounters) {
 		act.abusive = trustor.Behavior.UsesAbusively(r)
 		return act
 	})
-	if attacked {
-		// Pre-merge hook: active attackers rewrite their buffered outcomes.
-		e.applyAttack(actx, acts)
-	}
+}
+
+// mergeMutualityActs is the round's single-threaded merge phase — the only
+// store writer: buffered actions apply in ascending trustor-ID order
+// (counters, trust updates, energy drains, usage logs).
+func (e *Engine) mergeMutualityActs(attacked bool, tk task.Task, acts []mutualityAction, c *MutualityCounters) {
+	p := e.Pop
 	for i, x := range p.Trustors {
 		a := acts[i]
 		if !a.requested {
@@ -226,10 +301,6 @@ func (e *Engine) MutualityRound(round int, tk task.Task, c *MutualityCounters) {
 		if a.abusive {
 			c.Abuses++
 		}
-	}
-	if attacked {
-		// Post-merge hook: whitewashing attackers shed their identity.
-		e.applyChurn(actx)
 	}
 }
 

@@ -9,22 +9,23 @@ import (
 )
 
 // TransitivityEpoch is one frozen-epoch read context for transitivity
-// sweeps: a TrustView captured from the population's live stores plus an
+// sweeps: a round view captured from the population's live stores plus an
 // EdgeMemo of per-edge hop values, shared by every search run against it.
+// The snapshot is published through an EpochHandle — the same seam the
+// engine's mutuality rounds swap through — so every frozen read path in
+// the package goes through one refcounted epoch mechanism.
 //
 // The search phase of a transitivity run is pure — no store is written — so
 // a single capture serves any number of Run calls across policies and
 // seeds, and the per-characteristic memo tables built for one policy are
 // reused by the next. The epoch goes stale as soon as the stores mutate
-// (a mutuality round, a seeding pass, identity churn); capture a fresh one
-// after any such phase. Mutuality rounds themselves keep reading live
-// stores: they interleave reads with writes inside one round, which is
-// exactly the access pattern a frozen view cannot represent.
+// (a mutuality round, a seeding pass, identity churn); Reset it after any
+// such phase.
 type TransitivityEpoch struct {
 	p       *Population
 	setup   TransitivitySetup
 	s       *core.Searcher
-	view    *core.TrustView
+	handle  EpochHandle
 	memo    *core.EdgeMemo
 	workers int
 }
@@ -43,38 +44,44 @@ func (e *Engine) TransitivityEpoch(setup TransitivitySetup) *TransitivityEpoch {
 }
 
 func newTransitivityEpoch(p *Population, setup TransitivitySetup, workers int) *TransitivityEpoch {
-	view := p.TrustViewParallel(workers, epochArenas)
-	return &TransitivityEpoch{
+	ep := &TransitivityEpoch{
 		p:       p,
 		setup:   setup,
 		s:       p.Searcher(setup.MaxDepth, setup.Omega1, setup.Omega2),
-		view:    view,
-		memo:    core.NewEdgeMemoPooled(view, p.cfg.Update.Norm, workers, epochArenas),
 		workers: workers,
 	}
+	view := p.RoundView(workers, epochArenas)
+	ep.handle.Publish(view)
+	ep.memo = core.NewEdgeMemoPooled(view.TrustView, p.cfg.Update.Norm, workers, epochArenas)
+	return ep
 }
 
-// Reset re-captures the epoch from the population's current stores,
-// reusing its arenas: the view's record arena and the memo's hop tables go
-// back to the pool and the fresh capture draws them out again, so a
-// repeated capture–sweep loop allocates nothing new at steady state. Use
-// after the stores mutated (a mutuality round, a seeding pass); the memo
-// refills lazily on the next Run.
+// Handle exposes the epoch's publish seam: external readers may Acquire
+// the current snapshot and keep it alive across a Reset.
+func (ep *TransitivityEpoch) Handle() *EpochHandle { return &ep.handle }
+
+// Reset re-captures the epoch from the population's current stores: the
+// stale snapshot retires through the handle (readers still holding it keep
+// it alive; otherwise its arenas go back to the pool), a fresh capture is
+// published, and the memo rebinds to it — so a repeated capture–sweep loop
+// allocates nothing new at steady state. Use after the stores mutated (a
+// mutuality round, a seeding pass); the memo refills lazily on the next
+// Run.
 func (ep *TransitivityEpoch) Reset() {
-	ep.view.Release()
-	ep.view = ep.p.TrustViewParallel(ep.workers, epochArenas)
-	ep.memo.Reset(ep.view)
+	view := ep.p.RoundView(ep.workers, epochArenas)
+	ep.handle.Publish(view) // retires the stale epoch
+	ep.memo.Reset(view.TrustView)
 }
 
-// Release returns the epoch's arenas (view and memo tables) to the shared
-// pool. The epoch is dead afterwards — Run on a released epoch is invalid —
-// and only the epoch's owner may call it, exactly once. Callers that let an
-// epoch go out of scope without Release merely forgo reuse; correctness is
-// unaffected.
+// Release retires the epoch and returns the memo tables to the shared
+// pool. The epoch is dead afterwards — Run on a released epoch panics —
+// and only the epoch's owner may call it, exactly once (the handle's
+// refcount turns a second release into a panic, not a silent arena
+// corruption). Callers that let an epoch go out of scope without Release
+// merely forgo reuse; correctness is unaffected.
 func (ep *TransitivityEpoch) Release() {
 	ep.memo.Release()
-	ep.view.Release()
-	ep.view = nil
+	ep.handle.Retire()
 }
 
 // findSummary is the per-trustor digest a transitivity run keeps: the full
@@ -100,12 +107,18 @@ func (ep *TransitivityEpoch) Run(policy core.Policy, seed uint64) TransitivitySt
 	for i := range tasks {
 		tasks[i] = ep.setup.Universe.Random(taskRng)
 	}
+	ref := ep.handle.Acquire()
+	if ref == nil {
+		panic("sim: Run on a released TransitivityEpoch")
+	}
+	defer ref.Release()
+	view := ref.View().TrustView
 	// Pre-pass: memoize every per-edge hop value the searches will read, in
 	// parallel over the CSR edge array, before the read-only fan-out.
 	ep.memo.Require(policy, tasks)
 	results := mapTrustors(p.Trustors, ep.workers, func(i int, x core.AgentID) findSummary {
 		res := resultPool.Get().(*core.SearchResult)
-		ep.s.FindViewInto(res, ep.view, ep.memo, x, tasks[i], policy)
+		ep.s.FindViewInto(res, view, ep.memo, x, tasks[i], policy)
 		sum := findSummary{candidates: len(res.Candidates), inquired: res.Inquired}
 		sum.best, sum.found = res.Best()
 		resultPool.Put(res)

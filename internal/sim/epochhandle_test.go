@@ -1,0 +1,209 @@
+package sim
+
+import (
+	"testing"
+
+	"siot/internal/adversary"
+	"siot/internal/core"
+	"siot/internal/task"
+)
+
+// TestEpochHandleLifecycle walks the publish → acquire → swap → retire
+// cycle: readers always see the epoch that was current at Acquire time,
+// and a reader that straddles a swap keeps its snapshot.
+func TestEpochHandleLifecycle(t *testing.T) {
+	net := smallNet(t)
+	p := NewPopulation(net, DefaultPopulationConfig(17))
+	var h EpochHandle
+	if h.Current() || h.Acquire() != nil {
+		t.Fatal("empty handle claims a current epoch")
+	}
+	v1 := p.RoundView(1, nil)
+	h.Publish(v1)
+	if !h.Current() {
+		t.Fatal("published epoch not current")
+	}
+	ref := h.Acquire()
+	if ref == nil || ref.View() != v1 {
+		t.Fatal("acquire did not hand out the published view")
+	}
+	// Swap to a fresh epoch: the outstanding reader keeps v1 alive.
+	v2 := p.RoundView(1, nil)
+	h.Publish(v2)
+	if ref.View() != v1 {
+		t.Fatal("outstanding reader lost its snapshot across a swap")
+	}
+	ref2 := h.Acquire()
+	if ref2.View() != v2 {
+		t.Fatal("new reader did not get the new epoch")
+	}
+	ref.Release()
+	ref2.Release()
+	h.Retire()
+	if h.Current() || h.Acquire() != nil {
+		t.Fatal("retired handle still serves an epoch")
+	}
+	h.Retire() // idempotent on an empty handle
+}
+
+// TestEpochHandleDoubleReleasePanics: releasing one acquired reference
+// twice is a bug that could free arenas under a live reader, so it must
+// panic instead of silently double-decrementing.
+func TestEpochHandleDoubleReleasePanics(t *testing.T) {
+	net := smallNet(t)
+	p := NewPopulation(net, DefaultPopulationConfig(18))
+	var h EpochHandle
+	h.Publish(p.RoundView(1, nil))
+	ref := h.Acquire()
+	ref.Release()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double release did not panic")
+		}
+		h.Retire()
+	}()
+	ref.Release()
+}
+
+// TestEpochHandleChurnKeepsViewAlive pins the live-read window of identity
+// churn closed: a reader acquires an epoch, whitewashing churn then makes
+// every peer Forget an attacker mid-flight (Population.Forget rewriting
+// the stores while rounds keep swapping epochs through the same handle),
+// and the outstanding view must keep serving the pre-churn records — no
+// dangling arenas, no leak-through. After the reader releases, a fresh
+// pooled capture must match the live post-churn stores exactly (the
+// TestArenaPoolNoStaleRecords property at the round-view level).
+func TestEpochHandleChurnKeepsViewAlive(t *testing.T) {
+	p := attackPopulation(t, 11, AttackConfig{Model: adversary.Whitewashing{RejoinEvery: 3}, Attackers: 20}, 2)
+	eng := NewEngine(p, "churn-epoch")
+	tk := task.Uniform(1, task.CharCompute)
+	var c MutualityCounters
+	// Rounds 0–1 accumulate records about the attackers; churn first fires
+	// after round 2, which has not run yet.
+	for round := 0; round < 2; round++ {
+		eng.MutualityRound(round, tk, &c)
+	}
+	// Find an edge holder→attacker that carries records.
+	var holder, attacker core.AgentID
+	found := false
+	for _, a := range p.Attackers {
+		for _, u := range p.Neighbors(a) {
+			if p.Agent(u).Store.RecordCount(a) > 0 {
+				holder, attacker, found = u, a, true
+				break
+			}
+		}
+		if found {
+			break
+		}
+	}
+	if !found {
+		t.Fatal("no records about any attacker after two rounds")
+	}
+	// Acquire an epoch through the engine's own handle — the reader a
+	// serving layer would be.
+	eng.Rounds.Publish(p.RoundView(2, epochArenas))
+	ref := eng.Rounds.Acquire()
+	view := ref.View()
+	edge, ok := view.EdgeIndex(holder, attacker)
+	if !ok {
+		t.Fatal("holder→attacker edge missing from view")
+	}
+	nRecs := len(view.EdgeRecords(edge))
+	if nRecs == 0 {
+		t.Fatal("captured view lost the holder's records")
+	}
+	usage := view.Usage(edge)
+	// Round 2 runs with our reference outstanding: its own epoch swap drops
+	// the publisher ref of our epoch, and its churn pass makes every peer
+	// forget the whitewashing attackers.
+	eng.MutualityRound(2, tk, &c)
+	if got := p.Agent(holder).Store.RecordCount(attacker); got != 0 {
+		t.Fatalf("churn did not fire: holder still has %d live records", got)
+	}
+	if got := len(view.EdgeRecords(edge)); got != nRecs {
+		t.Fatalf("outstanding view changed under churn: %d records, had %d", got, nRecs)
+	}
+	if got := view.Usage(edge); got != usage {
+		t.Fatalf("outstanding view usage changed under churn: %+v, had %+v", got, usage)
+	}
+	ref.Release() // last reference: arenas return to the pool only now
+	// A fresh pooled capture (reusing those arenas) must match the live
+	// post-churn stores — nothing stale left behind.
+	fresh := p.RoundView(2, epochArenas)
+	edge2, ok := fresh.EdgeIndex(holder, attacker)
+	if !ok {
+		t.Fatal("edge missing from fresh view")
+	}
+	if got := len(fresh.EdgeRecords(edge2)); got != 0 {
+		t.Fatalf("fresh capture serves %d stale records about the forgotten attacker", got)
+	}
+	if got, want := fresh.Usage(edge2), p.Agent(holder).Store.Usage(attacker); got != want {
+		t.Fatalf("fresh capture usage %+v, live store says %+v", got, want)
+	}
+	fresh.Release()
+}
+
+// TestMutualityRoundMatchesEngine is the retirement gate of the legacy
+// serial helper: the package-level MutualityRound must be bit-identical to
+// an Engine with the same label at any parallelism — counters and full
+// trust state.
+func TestMutualityRoundMatchesEngine(t *testing.T) {
+	net := smallNet(t)
+	tk := task.Uniform(2, task.CharGPS)
+	pa := NewPopulation(net, DefaultPopulationConfig(13))
+	var ca MutualityCounters
+	for round := 0; round < 8; round++ {
+		MutualityRound(pa, round, tk, &ca)
+	}
+	pb := NewPopulation(net, DefaultPopulationConfig(13))
+	eng := &Engine{Pop: pb, Parallelism: 8, Label: mutualityRoundLabel}
+	var cb MutualityCounters
+	for round := 0; round < 8; round++ {
+		eng.MutualityRound(round, tk, &cb)
+	}
+	if ca != cb {
+		t.Fatalf("counters diverge: serial %+v, engine %+v", ca, cb)
+	}
+	if populationDigest(pa) != populationDigest(pb) {
+		t.Fatal("trust state diverges between serial helper and engine")
+	}
+}
+
+// TestMutualityComputePhaseLockFree is the mutex-contention guard of the
+// snapshot-round refactor: with the view captured, the entire compute
+// phase — candidate scoring, recommendation gathering with forgery,
+// reverse evaluation, outcome draws — takes zero store-shard or usage
+// locks, for honest and attacked populations alike.
+func TestMutualityComputePhaseLockFree(t *testing.T) {
+	scenarios := map[string]AttackConfig{
+		"honest":   {},
+		"attacked": {Model: adversary.BadMouthing{}, Attackers: 15},
+	}
+	for name, atk := range scenarios {
+		t.Run(name, func(t *testing.T) {
+			p := attackPopulation(t, 21, atk, 4)
+			eng := NewEngine(p, "lockfree")
+			tk := task.Uniform(1, task.CharCompute)
+			var c MutualityCounters
+			eng.MutualityRound(0, tk, &c) // init + some store state
+			attacked := p.AttackEnabled()
+			var actx adversary.Context
+			if attacked {
+				actx = eng.attackContext(eng.mutualityLabel(), 1)
+			}
+			view := p.RoundView(4, nil)
+			defer view.Release()
+			var acts []mutualityAction
+			locks := core.CountStoreLocks(func() {
+				acts = eng.computeMutualityActs(view, attacked, actx, 1, tk)
+			})
+			if locks != 0 {
+				t.Errorf("compute phase took %d store locks, want 0", locks)
+			}
+			if len(acts) != len(p.Trustors) {
+				t.Fatalf("compute phase returned %d actions for %d trustors", len(acts), len(p.Trustors))
+			}
+		})
+	}
+}

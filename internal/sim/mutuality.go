@@ -1,11 +1,6 @@
 package sim
 
 import (
-	"math/rand/v2"
-
-	"siot/internal/agent"
-	"siot/internal/core"
-	"siot/internal/env"
 	"siot/internal/task"
 )
 
@@ -44,49 +39,27 @@ func ratio(num, den int) float64 {
 	return float64(num) / float64(den)
 }
 
+// mutualityRoundLabel is the engine label the package-level MutualityRound
+// helper runs under; tests pinning helper ≡ engine equivalence construct
+// their reference engine with the same label.
+const mutualityRoundLabel = "serial"
+
 // MutualityRound plays one round of the Fig. 7 experiment: every trustor
 // requests task tk from its best-trusted trustee neighbor; each candidate
 // reverse-evaluates the trustor against θ (eq. 1); accepted delegations
-// execute, the trustor possibly abuses the granted resource, and the trustee
-// logs the usage for future reverse evaluations.
-func MutualityRound(p *Population, tk task.Task, r *rand.Rand, c *MutualityCounters) {
-	order := r.Perm(len(p.Trustors))
-	for _, ti := range order {
-		x := p.Trustors[ti]
-		trustor := p.Agent(x)
-		nbrs := p.TrusteeNeighbors(x)
-		if len(nbrs) == 0 {
-			continue // socially isolated from trustees: not a request
-		}
-		c.Requests++
-		cands := make([]core.Candidate, 0, len(nbrs))
-		for _, y := range nbrs {
-			tw, ok := trustor.Store.BestTW(y, tk)
-			if !ok {
-				tw = 0.5 // neutral prior before any experience
-			}
-			cands = append(cands, core.Candidate{ID: y, TW: tw})
-		}
-		chosen, ok := core.SelectMutual(cands, func(y core.AgentID) bool {
-			return p.Agent(y).AcceptsDelegation(x)
-		})
-		if !ok {
-			c.Unavailable++
-			continue
-		}
-		trustee := p.Agent(chosen.ID)
-		out := trustee.Act(tk, env.Perfect, agent.DefaultActConfig(), r)
-		if out.Success {
-			c.Successes++
-		}
-		trustor.Store.Observe(chosen.ID, tk, out, core.PerfectEnv())
-
-		// The trustor now uses the granted resource; the trustee logs how.
-		abusive := trustor.Behavior.UsesAbusively(r)
-		trustee.Store.ObserveUsage(x, abusive)
-		c.Uses++
-		if abusive {
-			c.Abuses++
-		}
-	}
+// execute, the trustor possibly abuses the granted resource, and the
+// trustee logs the usage for future reverse evaluations.
+//
+// This is a convenience wrapper over the engine round at parallelism 1 —
+// the former hand-rolled serial loop (sequential within-round visibility,
+// caller-supplied shared rand.Rand) is retired, so the helper now carries
+// the engine's simultaneous-request semantics and determinism contract:
+// round indexes the per-trustor random sub-streams and must advance every
+// call, and the result is bit-identical to an Engine at any parallelism
+// with label "serial" (TestMutualityRoundMatchesEngine). Callers that play
+// many rounds should hold an Engine instead and skip the per-call
+// neighbor-list precompute.
+func MutualityRound(p *Population, round int, tk task.Task, c *MutualityCounters) {
+	eng := Engine{Pop: p, Parallelism: 1, Label: mutualityRoundLabel}
+	eng.MutualityRound(round, tk, c)
 }

@@ -332,3 +332,24 @@ func (p *Population) CaptureSource() core.CaptureSource {
 func (p *Population) TrustViewParallel(workers int, pool *core.ArenaPool) *core.TrustView {
 	return core.CaptureTrustViewParallel(p.adjOff, p.adjTo, p.CaptureSource(), workers, pool)
 }
+
+// RoundSource exposes the population's stores to a round-view capture: the
+// trust-view record passes plus the per-edge usage logs behind the reverse
+// evaluation.
+func (p *Population) RoundSource() core.RoundSource {
+	return core.RoundSource{
+		CaptureSource: p.CaptureSource(),
+		Usage: func(holder, about core.AgentID) core.UsageLog {
+			return p.Agents[holder].Store.Usage(about)
+		},
+	}
+}
+
+// RoundView captures a frozen snapshot of everything a delegation round
+// reads — per-edge experience records and usage counters — over a worker
+// pool, drawing arenas from pool (workers <= 1 captures serially, a nil
+// pool allocates fresh). Byte-identical at every worker count. The engine
+// publishes one per round boundary through its EpochHandle.
+func (p *Population) RoundView(workers int, pool *core.ArenaPool) *core.RoundView {
+	return core.CaptureRoundView(p.adjOff, p.adjTo, p.RoundSource(), p.cfg.Update.Norm, workers, pool)
+}

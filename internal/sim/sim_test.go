@@ -95,10 +95,9 @@ func TestMutualityRoundCounters(t *testing.T) {
 	net := smallNet(t)
 	p := NewPopulation(net, DefaultPopulationConfig(3))
 	tk := task.Uniform(1, task.CharGPS)
-	r := p.Rand("mutual")
 	var c MutualityCounters
 	for round := 0; round < 10; round++ {
-		MutualityRound(p, tk, r, &c)
+		MutualityRound(p, round, tk, &c)
 	}
 	if c.Requests == 0 {
 		t.Fatal("no requests issued")
@@ -128,10 +127,9 @@ func TestMutualityThetaReducesAbuse(t *testing.T) {
 		cfg.Theta = theta
 		p := NewPopulation(net, cfg)
 		tk := task.Uniform(1, task.CharGPS)
-		r := p.Rand("theta")
 		var c MutualityCounters
 		for round := 0; round < 40; round++ {
-			MutualityRound(p, tk, r, &c)
+			MutualityRound(p, round, tk, &c)
 		}
 		return c
 	}

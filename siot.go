@@ -104,6 +104,29 @@ type TrustView = core.TrustView
 // sweep.
 type EdgeMemo = core.EdgeMemo
 
+// RoundView extends TrustView to everything a delegation round reads:
+// per-edge experience records plus the usage counters behind the reverse
+// evaluation (eq. 1). The simulation engine captures one per round
+// boundary and swaps it through an RCU-style epoch handle, keeping the
+// round's compute phase free of store locks.
+type RoundView = core.RoundView
+
+// RoundSource is the store access a RoundView capture needs: the
+// trust-view record passes plus per-edge usage lookup.
+type RoundSource = core.RoundSource
+
+// CaptureRoundView freezes per-edge records and usage counters over a CSR
+// adjacency (rows ascending by target). Arenas come from pool when
+// non-nil; release the view exactly once.
+func CaptureRoundView(adjOff []int32, adjTo []AgentID, src RoundSource, norm Normalizer, workers int, pool *ArenaPool) *RoundView {
+	return core.CaptureRoundView(adjOff, adjTo, src, norm, workers, pool)
+}
+
+// CountStoreLocks runs fn and reports how many trust-store lock
+// acquisitions happened meanwhile (process-global, not reentrant) — the
+// probe behind lock-free compute-phase assertions.
+func CountStoreLocks(fn func()) int64 { return core.CountStoreLocks(fn) }
+
 // ArenaPool recycles TrustView arenas and EdgeMemo hop tables across
 // frozen-epoch captures (capacity-keyed, explicit Release).
 type ArenaPool = core.ArenaPool
