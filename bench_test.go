@@ -11,6 +11,7 @@ import (
 	"siot/internal/benchnet"
 	"siot/internal/core"
 	"siot/internal/experiments"
+	"siot/internal/serve"
 	"siot/internal/sim"
 	"siot/internal/socialgen"
 	"siot/internal/stats"
@@ -195,6 +196,80 @@ func BenchmarkFindAggressive(b *testing.B) {
 		s.FindViewInto(&res, view, memo, trustor, tk, core.PolicyAggressive)
 	}
 	b.ReportMetric(float64(res.Inquired), "inquired")
+}
+
+// BenchmarkServeQuery1k measures one trust query per op against a live
+// serve engine on the canonical 1k-node benchmark network. Read-only
+// steady state: the writer goroutine idles and every op is an epoch
+// Acquire → frozen-view answer → Release. The engine's own latency
+// histogram supplies the p50/p99 metrics mirrored into BENCH.json by
+// siot-bench's serve-query-1k workload.
+func BenchmarkServeQuery1k(b *testing.B) {
+	eng, err := serve.New(serve.Config{
+		Nodes: 1000, Seed: benchSeed, Seeded: true, Policy: core.PolicyAggressive,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer eng.Close()
+	n := eng.NumAgents()
+	types := len(eng.TaskTypes())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		trustor := core.AgentID(i % n)
+		trustee := core.AgentID((i*31 + 1) % n)
+		if trustee == trustor {
+			trustee = core.AgentID((int(trustee) + 1) % n)
+		}
+		eng.Trust(trustor, trustee, i%types)
+	}
+	b.StopTimer()
+	st := eng.Stats()
+	b.ReportMetric(float64(st.QueryP50Ns), "p50_ns")
+	b.ReportMetric(float64(st.QueryP99Ns), "p99_ns")
+}
+
+// BenchmarkServeMixed10k measures the serving system's mixed read/write
+// steady state on the 10k-node network: three trust queries and one
+// ingested observation per four ops, with the writer goroutine applying
+// events and republishing a fresh epoch every 512 of them, so queries
+// keep acquiring consistent snapshots across concurrent swaps.
+func BenchmarkServeMixed10k(b *testing.B) {
+	eng, err := serve.New(serve.Config{
+		Nodes: 10000, Seed: benchSeed, Seeded: true, Policy: core.PolicyAggressive,
+		EpochEvery: 512,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer eng.Close()
+	n := eng.NumAgents()
+	types := len(eng.TaskTypes())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		trustor := core.AgentID(i % n)
+		if i%4 == 3 {
+			nbrs := eng.Neighbors(trustor)
+			eng.Ingest(serve.Event{
+				Op: serve.OpObserve, Trustor: trustor, Trustee: nbrs[i%len(nbrs)],
+				Type:    i % types,
+				Outcome: core.Outcome{Success: i%3 != 0, Gain: 0.8, Damage: 0.2, Cost: 0.1},
+			})
+			continue
+		}
+		trustee := core.AgentID((i*31 + 1) % n)
+		if trustee == trustor {
+			trustee = core.AgentID((int(trustee) + 1) % n)
+		}
+		eng.Trust(trustor, trustee, i%types)
+	}
+	b.StopTimer()
+	st := eng.Stats()
+	b.ReportMetric(float64(st.QueryP50Ns), "p50_ns")
+	b.ReportMetric(float64(st.QueryP99Ns), "p99_ns")
+	b.ReportMetric(float64(st.Epochs), "epochs")
 }
 
 // BenchmarkTable1Connectivity regenerates Table 1: the connectivity

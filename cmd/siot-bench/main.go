@@ -15,8 +15,9 @@
 // rounds at 1k nodes, snapshot mutuality rounds at 100k nodes, frozen-epoch
 // transitivity sweeps at 1k, 10k, and 100k nodes, the pooled trust-view
 // capture, the bulk experience-seeding pass, the full 100k populate+seed
-// setup, a single warm search) and appends an entry to the JSON history
-// file, tracking the perf trajectory across PRs.
+// setup, a single warm search, and the serve engine's pure-query and mixed
+// read/write workloads with p50/p99 query-latency counters) and appends an
+// entry to the JSON history file, tracking the perf trajectory across PRs.
 //
 // With -compare, the suite additionally diffs the fresh measurements
 // against the file's previous last entry and exits non-zero when any
@@ -25,16 +26,19 @@
 // machine (the entries carry gomaxprocs/num_cpu) are reported but not
 // enforced.
 //
-// Exit status is nonzero if any shape check fails.
+// Exit status follows the shared CLI convention: 2 for usage errors, 1 for
+// runtime failures (failed shape checks, perf regressions, I/O errors).
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
 
+	"siot/internal/cliutil"
 	"siot/internal/experiments"
 	"siot/internal/report"
 )
@@ -51,9 +55,11 @@ func main() {
 	compare := flag.String("compare", "", "run the perf suite against this JSON history file, appending the new entry and exiting non-zero on any >15% ns/op regression vs the previous last entry (implies -json)")
 	flag.Parse()
 
+	if err := cliutil.ValidateParallel(*parallel); err != nil {
+		cliutil.Usage("siot-bench", err)
+	}
 	if *compare != "" && *jsonPath != "" {
-		fmt.Fprintln(os.Stderr, "siot-bench: -json and -compare are mutually exclusive (both run the suite and append to their file; pick one history file)")
-		os.Exit(2)
+		cliutil.Usage("siot-bench", errors.New("-json and -compare are mutually exclusive (both run the suite and append to their file; pick one history file)"))
 	}
 	if *compare != "" || *jsonPath != "" {
 		path, gate := *jsonPath, false
@@ -61,8 +67,7 @@ func main() {
 			path, gate = *compare, true
 		}
 		if err := runPerfSuite(path, *label, *note, gate); err != nil {
-			fmt.Fprintln(os.Stderr, "siot-bench:", err)
-			os.Exit(2)
+			cliutil.Runtime("siot-bench", err)
 		}
 		return
 	}
@@ -83,12 +88,10 @@ func main() {
 		fmt.Printf("==> %s (seed %d)\n", name, *seed)
 		res, err := experiments.RunOpts(name, experiments.Options{Seed: *seed, Parallelism: *parallel})
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "siot-bench:", err)
-			os.Exit(2)
+			cliutil.Usage("siot-bench", err)
 		}
 		if err := res.Table().Render(os.Stdout); err != nil {
-			fmt.Fprintln(os.Stderr, "siot-bench: render:", err)
-			os.Exit(2)
+			cliutil.Runtime("siot-bench", fmt.Errorf("render: %w", err))
 		}
 		fmt.Println()
 		if *charts {
@@ -96,8 +99,7 @@ func main() {
 				for _, chart := range c.Charts() {
 					chart := chart
 					if err := chart.Render(os.Stdout); err != nil {
-						fmt.Fprintln(os.Stderr, "siot-bench: chart:", err)
-						os.Exit(2)
+						cliutil.Runtime("siot-bench", fmt.Errorf("chart: %w", err))
 					}
 					fmt.Println()
 				}
@@ -113,15 +115,14 @@ func main() {
 		}
 		if *csvDir != "" {
 			if err := writeCSV(*csvDir, name, res); err != nil {
-				fmt.Fprintln(os.Stderr, "siot-bench: csv:", err)
-				os.Exit(2)
+				cliutil.Runtime("siot-bench", fmt.Errorf("csv: %w", err))
 			}
 		}
 		fmt.Println()
 	}
 	if failed > 0 {
 		fmt.Printf("%d shape check(s) failed\n", failed)
-		os.Exit(1)
+		os.Exit(cliutil.ExitRuntime)
 	}
 }
 

@@ -1,0 +1,88 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// entryOn builds a perfEntry for a machine shape with the given
+// name → ns/op measurements.
+func entryOn(gomaxprocs, numCPU int, ns map[string]float64) perfEntry {
+	e := perfEntry{Label: "test", GoMaxProcs: gomaxprocs, NumCPU: numCPU}
+	for name, v := range ns {
+		e.Benchmarks = append(e.Benchmarks, perfResult{Name: name, NsPerOp: v})
+	}
+	return e
+}
+
+// TestCompareEntriesFloor pins the enforcement floor: >15% deltas fail only
+// when both sides sit at or above minEnforceNs; sub-millisecond workloads
+// warn instead (timer jitter dominates there), as do baselines from a
+// differently sized machine.
+func TestCompareEntriesFloor(t *testing.T) {
+	cases := []struct {
+		name           string
+		base, cur      perfEntry
+		wantRegression []string
+	}{
+		{
+			name:           "slow workload regression enforced",
+			base:           entryOn(8, 8, map[string]float64{"rounds": 10 * minEnforceNs}),
+			cur:            entryOn(8, 8, map[string]float64{"rounds": 13 * minEnforceNs}),
+			wantRegression: []string{"rounds"},
+		},
+		{
+			name: "fast workload regression demoted to warning",
+			base: entryOn(8, 8, map[string]float64{"find": 0.2 * minEnforceNs}),
+			cur:  entryOn(8, 8, map[string]float64{"find": 0.5 * minEnforceNs}),
+		},
+		{
+			name: "baseline below floor demoted even when current is above",
+			base: entryOn(8, 8, map[string]float64{"find": 0.9 * minEnforceNs}),
+			cur:  entryOn(8, 8, map[string]float64{"find": 2 * minEnforceNs}),
+		},
+		{
+			name: "within tolerance never flagged",
+			base: entryOn(8, 8, map[string]float64{"rounds": 10 * minEnforceNs}),
+			cur:  entryOn(8, 8, map[string]float64{"rounds": 11 * minEnforceNs}),
+		},
+		{
+			name: "improvement never flagged",
+			base: entryOn(8, 8, map[string]float64{"rounds": 10 * minEnforceNs}),
+			cur:  entryOn(8, 8, map[string]float64{"rounds": 5 * minEnforceNs}),
+		},
+		{
+			name: "cross-machine baseline demoted",
+			base: entryOn(4, 4, map[string]float64{"rounds": 10 * minEnforceNs}),
+			cur:  entryOn(8, 8, map[string]float64{"rounds": 20 * minEnforceNs}),
+		},
+		{
+			name: "new benchmark without baseline skipped",
+			base: entryOn(8, 8, map[string]float64{}),
+			cur:  entryOn(8, 8, map[string]float64{"serve-query-1k": 10 * minEnforceNs}),
+		},
+		{
+			name: "mixed: only the slow regressed workload fails",
+			base: entryOn(8, 8, map[string]float64{
+				"rounds": 10 * minEnforceNs, "find": 0.2 * minEnforceNs, "sweep": 10 * minEnforceNs,
+			}),
+			cur: entryOn(8, 8, map[string]float64{
+				"rounds": 13 * minEnforceNs, "find": 0.5 * minEnforceNs, "sweep": 10.1 * minEnforceNs,
+			}),
+			wantRegression: []string{"rounds"},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := compareEntries(tc.base, tc.cur)
+			if len(got) != len(tc.wantRegression) {
+				t.Fatalf("compareEntries returned %d regression(s) %v, want %d", len(got), got, len(tc.wantRegression))
+			}
+			for i, name := range tc.wantRegression {
+				if !strings.HasPrefix(got[i], name+":") {
+					t.Errorf("regression %d = %q, want it to name %q", i, got[i], name)
+				}
+			}
+		})
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"os"
 
+	"siot/internal/cliutil"
 	"siot/internal/socialgen"
 )
 
@@ -26,8 +27,7 @@ func main() {
 
 	if *edgeFile != "" {
 		if err := characterizeFile(*edgeFile, *seed); err != nil {
-			fmt.Fprintln(os.Stderr, "siot-netgen:", err)
-			os.Exit(1)
+			cliutil.Runtime("siot-netgen", err)
 		}
 		return
 	}
@@ -38,8 +38,7 @@ func main() {
 	} else {
 		p, err := socialgen.ProfileByName(*netName)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "siot-netgen:", err)
-			os.Exit(1)
+			cliutil.Usage("siot-netgen", err)
 		}
 		profiles = []socialgen.Profile{p}
 	}

@@ -1,0 +1,266 @@
+// Command siot-serve runs the trust-as-a-service engine over HTTP+JSON: a
+// long-lived process that ingests observation/recommendation events into
+// the population's trust stores, answers trust(trustor, trustee, type)
+// queries lock-free from the current frozen epoch, republishes the epoch on
+// a count- or time-triggered cadence, and appends every event and served
+// value to a replayable trust-assertion journal.
+//
+// Usage:
+//
+//	siot-serve -addr 127.0.0.1:8476 -net facebook -seeded -journal trust.jsonl
+//	siot-serve -nodes 1000 -policy conservative -epoch-every 512
+//	siot-serve -replay trust.jsonl
+//
+// Endpoints:
+//
+//	GET  /trust?trustor=A&trustee=B&type=T  one trust value from the current epoch
+//	POST /observe                            {"trustor","trustee","type","success","gain","damage","cost","abusive"}
+//	POST /recommend                          {"trustor","trustee","type","s","g","d","c"}
+//	GET  /stats                              ingest/query/epoch counters with p50/p99 query latency
+//	GET  /healthz                            liveness
+//
+// With -replay, siot-serve verifies a journal instead of serving: it
+// rebuilds the world from the journal header, re-applies every event,
+// re-captures every epoch, and re-answers every query, exiting 0 only if
+// each served trust value reproduces bit-for-bit.
+package main
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"syscall"
+	"time"
+
+	"siot/internal/cliutil"
+	"siot/internal/core"
+	"siot/internal/serve"
+)
+
+func main() {
+	var (
+		addr          = flag.String("addr", "127.0.0.1:8476", "listen address")
+		netName       = flag.String("net", "facebook", "network profile: facebook, gplus, twitter (ignored when -nodes > 0)")
+		nodes         = flag.Int("nodes", 0, "serve the canonical benchmark network at this node count instead of -net")
+		seed          = flag.Uint64("seed", 1, "world seed (network, roles, task universe, seeding)")
+		chars         = flag.Int("chars", 5, "task-characteristic alphabet size")
+		policyName    = flag.String("policy", "aggressive", "trust-transfer policy: traditional, conservative, aggressive")
+		seeded        = flag.Bool("seeded", true, "pre-seed experience records so queries are answerable from the start")
+		theta         = flag.Float64("theta", 0.3, "reverse-evaluation threshold installed on trustees")
+		epochEvery    = flag.Int("epoch-every", 256, "republish the epoch after this many applied events")
+		epochInterval = flag.Duration("epoch-interval", time.Second, "also republish on this interval when events arrived (0 disables)")
+		journalPath   = flag.String("journal", "", "append the trust-assertion journal to this file")
+		replayPath    = flag.String("replay", "", "verify a journal byte-for-byte and exit (no server)")
+		parallel      = flag.Int("parallel", 0, "capture worker-pool width (0 = GOMAXPROCS); values are identical at any width")
+	)
+	flag.Parse()
+
+	for _, err := range []error{
+		cliutil.ValidateParallel(*parallel),
+		cliutil.ValidatePositive("-chars", *chars),
+		cliutil.ValidatePositive("-epoch-every", *epochEvery),
+	} {
+		if err != nil {
+			cliutil.Usage("siot-serve", err)
+		}
+	}
+
+	if *replayPath != "" {
+		f, err := os.Open(*replayPath)
+		if err != nil {
+			cliutil.Runtime("siot-serve", err)
+		}
+		defer f.Close()
+		stats, err := serve.Replay(bufio.NewReader(f))
+		if err != nil {
+			cliutil.Runtime("siot-serve", err)
+		}
+		fmt.Printf("replay OK: %d events, %d epochs, %d queries reproduced bit-for-bit\n",
+			stats.Events, stats.Epochs, stats.Queries)
+		return
+	}
+
+	policy, err := core.ParsePolicy(*policyName)
+	if err != nil {
+		cliutil.Usage("siot-serve", err)
+	}
+
+	cfg := serve.Config{
+		Net: *netName, Nodes: *nodes, Seed: *seed, Chars: *chars,
+		Policy: policy, Seeded: *seeded, Theta: *theta,
+		EpochEvery: *epochEvery, EpochInterval: *epochInterval,
+		Workers: *parallel,
+	}
+	var journalFile *os.File
+	var journalBuf *bufio.Writer
+	if *journalPath != "" {
+		journalFile, err = os.Create(*journalPath)
+		if err != nil {
+			cliutil.Runtime("siot-serve", err)
+		}
+		journalBuf = bufio.NewWriter(journalFile)
+		cfg.Journal = journalBuf
+	}
+
+	engine, err := serve.New(cfg)
+	if err != nil {
+		cliutil.Usage("siot-serve", err)
+	}
+
+	srv := &http.Server{Addr: *addr, Handler: newHandler(engine)}
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	log.Printf("siot-serve: %d agents, %d task types, policy %s, listening on %s",
+		engine.NumAgents(), len(engine.TaskTypes()), policy, *addr)
+
+	select {
+	case <-ctx.Done():
+	case err := <-errc:
+		engine.Close()
+		cliutil.Runtime("siot-serve", err)
+	}
+	shutCtx, shutCancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer shutCancel()
+	if err := srv.Shutdown(shutCtx); err != nil {
+		log.Printf("siot-serve: shutdown: %v", err)
+	}
+	if err := engine.Close(); err != nil {
+		cliutil.Runtime("siot-serve", err)
+	}
+	if journalFile != nil {
+		if err := journalFile.Close(); err != nil {
+			cliutil.Runtime("siot-serve", err)
+		}
+	}
+}
+
+// trustResponse is the GET /trust payload. TWBits carries the exact float64
+// bit pattern the journal records — the value the replay contract defends.
+type trustResponse struct {
+	TW     float64 `json:"tw"`
+	TWBits string  `json:"tw_bits"`
+	Found  bool    `json:"found"`
+	Direct bool    `json:"direct"`
+	Epoch  uint64  `json:"epoch"`
+}
+
+// observeRequest is the POST /observe payload.
+type observeRequest struct {
+	Trustor int32   `json:"trustor"`
+	Trustee int32   `json:"trustee"`
+	Type    int     `json:"type"`
+	Success bool    `json:"success"`
+	Gain    float64 `json:"gain"`
+	Damage  float64 `json:"damage"`
+	Cost    float64 `json:"cost"`
+	Abusive bool    `json:"abusive"`
+}
+
+// recommendRequest is the POST /recommend payload.
+type recommendRequest struct {
+	Trustor int32   `json:"trustor"`
+	Trustee int32   `json:"trustee"`
+	Type    int     `json:"type"`
+	S       float64 `json:"s"`
+	G       float64 `json:"g"`
+	D       float64 `json:"d"`
+	C       float64 `json:"c"`
+}
+
+// newHandler routes the engine's API. Split from main so the tests can
+// drive it through httptest without a listener.
+func newHandler(e *serve.Engine) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /trust", func(w http.ResponseWriter, r *http.Request) {
+		q := r.URL.Query()
+		args := make(map[string]int64, 3)
+		for _, name := range []string{"trustor", "trustee", "type"} {
+			v, err := strconv.ParseInt(q.Get(name), 10, 32)
+			if err != nil {
+				httpError(w, http.StatusBadRequest, fmt.Errorf("query parameter %q: want an integer, got %q", name, q.Get(name)))
+				return
+			}
+			args[name] = v
+		}
+		res, err := e.Trust(core.AgentID(args["trustor"]), core.AgentID(args["trustee"]), int(args["type"]))
+		if err != nil {
+			httpError(w, statusFor(err), err)
+			return
+		}
+		writeJSON(w, trustResponse{
+			TW: res.TW, TWBits: fmt.Sprintf("%016x", math.Float64bits(res.TW)),
+			Found: res.Found, Direct: res.Direct, Epoch: res.Epoch,
+		})
+	})
+	mux.HandleFunc("POST /observe", func(w http.ResponseWriter, r *http.Request) {
+		var req observeRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		err := e.Ingest(serve.Event{
+			Op: serve.OpObserve, Trustor: core.AgentID(req.Trustor), Trustee: core.AgentID(req.Trustee),
+			Type:    req.Type,
+			Outcome: core.Outcome{Success: req.Success, Gain: req.Gain, Damage: req.Damage, Cost: req.Cost},
+			Abusive: req.Abusive,
+		})
+		if err != nil {
+			httpError(w, statusFor(err), err)
+			return
+		}
+		w.WriteHeader(http.StatusAccepted)
+	})
+	mux.HandleFunc("POST /recommend", func(w http.ResponseWriter, r *http.Request) {
+		var req recommendRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		err := e.Ingest(serve.Event{
+			Op: serve.OpRecommend, Trustor: core.AgentID(req.Trustor), Trustee: core.AgentID(req.Trustee),
+			Type: req.Type,
+			Exp:  core.Expectation{S: req.S, G: req.G, D: req.D, C: req.C},
+		})
+		if err != nil {
+			httpError(w, statusFor(err), err)
+			return
+		}
+		w.WriteHeader(http.StatusAccepted)
+	})
+	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, e.Stats())
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+func statusFor(err error) int {
+	if errors.Is(err, serve.ErrClosed) {
+		return http.StatusServiceUnavailable
+	}
+	return http.StatusBadRequest
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}
+
+func httpError(w http.ResponseWriter, status int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}

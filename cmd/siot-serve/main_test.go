@@ -1,0 +1,165 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"siot/internal/serve"
+)
+
+// startServer builds a small engine with a journal in a temp dir and mounts
+// the HTTP handler on an httptest server.
+func startServer(t *testing.T) (*httptest.Server, *serve.Engine, string) {
+	t.Helper()
+	dir := t.TempDir()
+	path := filepath.Join(dir, "trust.jsonl")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { f.Close() })
+	e, err := serve.New(serve.Config{
+		Net: "twitter", Seed: 7, Seeded: true, EpochEvery: 4, Journal: f,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(newHandler(e))
+	t.Cleanup(srv.Close)
+	return srv, e, path
+}
+
+func getJSON(t *testing.T, url string, out any) *http.Response {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decoding %s: %v", url, err)
+		}
+	}
+	return resp
+}
+
+// TestServeHTTP drives the full API surface end to end — health, ingest
+// over both endpoints, a trust query, stats — then shuts the engine down
+// and replays the journal it wrote.
+func TestServeHTTP(t *testing.T) {
+	srv, e, path := startServer(t)
+
+	resp := getJSON(t, srv.URL+"/healthz", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %d", resp.StatusCode)
+	}
+
+	// Ingest one observation and one recommendation along a real edge.
+	obs := map[string]any{
+		"trustor": 0, "trustee": int(firstNeighbor(e)), "type": 0,
+		"success": true, "gain": 0.8, "damage": 0.1, "cost": 0.05,
+	}
+	postJSON(t, srv.URL+"/observe", obs, http.StatusAccepted)
+	rec := map[string]any{
+		"trustor": 0, "trustee": int(firstNeighbor(e)), "type": 1,
+		"s": 0.9, "g": 0.7, "d": 0.1, "c": 0.1,
+	}
+	postJSON(t, srv.URL+"/recommend", rec, http.StatusAccepted)
+
+	var tr trustResponse
+	resp = getJSON(t, srv.URL+"/trust?trustor=0&trustee=5&type=0", &tr)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("trust: %d", resp.StatusCode)
+	}
+	if len(tr.TWBits) != 16 {
+		t.Fatalf("tw_bits %q is not a 16-digit hex float", tr.TWBits)
+	}
+
+	// Bad requests: non-integer parameter, out-of-range ids, non-neighbors.
+	for _, u := range []string{
+		"/trust?trustor=x&trustee=1&type=0",
+		"/trust?trustor=-1&trustee=1&type=0",
+		"/trust?trustor=0&trustee=1&type=9999",
+	} {
+		if resp := getJSON(t, srv.URL+u, nil); resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", u, resp.StatusCode)
+		}
+	}
+	postJSON(t, srv.URL+"/observe", map[string]any{"trustor": 0, "trustee": 0}, http.StatusBadRequest)
+
+	var st serve.Stats
+	getJSON(t, srv.URL+"/stats", &st)
+	if st.Ingested != 2 {
+		t.Fatalf("stats ingested = %d, want 2", st.Ingested)
+	}
+	if st.Queries == 0 {
+		t.Fatal("stats queries = 0")
+	}
+
+	srv.Close()
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	rs, err := serve.Replay(f)
+	if err != nil {
+		t.Fatalf("replay of the served journal: %v", err)
+	}
+	if rs.Events != 2 || rs.Queries == 0 {
+		t.Fatalf("replay stats %+v: want 2 events and some queries", rs)
+	}
+
+	// The engine is closed: queries must report ErrClosed, not hang.
+	if _, err := e.Trust(0, 5, 0); err != serve.ErrClosed {
+		t.Fatalf("Trust after Close: %v, want ErrClosed", err)
+	}
+}
+
+func firstNeighbor(e *serve.Engine) int32 {
+	return int32(e.Neighbors(0)[0])
+}
+
+func postJSON(t *testing.T, url string, body any, wantStatus int) {
+	t.Helper()
+	b, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != wantStatus {
+		t.Fatalf("POST %s: status %d, want %d", url, resp.StatusCode, wantStatus)
+	}
+}
+
+// TestTrustParamErrors pins the error body shape.
+func TestTrustParamErrors(t *testing.T) {
+	srv, e, _ := startServer(t)
+	defer e.Close()
+	resp, err := http.Get(srv.URL + "/trust?trustor=zero&trustee=1&type=0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var body map[string]string
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(body["error"], "trustor") {
+		t.Fatalf("error body %q does not name the bad parameter", body["error"])
+	}
+}

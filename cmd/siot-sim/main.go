@@ -28,6 +28,7 @@ import (
 	"os"
 
 	"siot/internal/adversary"
+	"siot/internal/cliutil"
 	"siot/internal/core"
 	"siot/internal/experiments"
 	"siot/internal/rng"
@@ -57,6 +58,18 @@ func main() {
 	)
 	flag.Parse()
 
+	for _, err := range []error{
+		cliutil.ValidateParallel(*parallel),
+		cliutil.ValidatePositive("-rounds", *rounds),
+		cliutil.ValidatePositive("-chars", *chars),
+		cliutil.ValidatePositive("-iters", *iters),
+		cliutil.ValidateAttackFlags(*attack, *attackers, *collude, *experiment),
+	} {
+		if err != nil {
+			cliutil.Usage("siot-sim", err)
+		}
+	}
+
 	if *list {
 		fmt.Println("experiments:", experiments.Names())
 		fmt.Println("attack models:", adversary.Names())
@@ -69,16 +82,16 @@ func main() {
 			Attack: *attack, Attackers: *attackers, Collude: *collude,
 		})
 		if err != nil {
-			fail(err)
+			cliutil.Usage("siot-sim", err)
 		}
 		if err := res.Table().Render(os.Stdout); err != nil {
-			fail(err)
+			cliutil.Runtime("siot-sim", err)
 		}
 		if c, ok := res.(experiments.Charter); ok {
 			for _, chart := range c.Charts() {
 				fmt.Println()
 				if err := chart.Render(os.Stdout); err != nil {
-					fail(err)
+					cliutil.Runtime("siot-sim", err)
 				}
 			}
 		}
@@ -90,7 +103,7 @@ func main() {
 
 	model, err := adversary.Parse(*attack)
 	if err != nil {
-		fail(err)
+		cliutil.Usage("siot-sim", err)
 	}
 	if *collude && model != nil {
 		model = adversary.Collusion{Of: model}
@@ -102,7 +115,7 @@ func main() {
 
 	profile, err := socialgen.ProfileByName(*netName)
 	if err != nil {
-		fail(err)
+		cliutil.Usage("siot-sim", err)
 	}
 	net := socialgen.Generate(profile, *seed)
 	fmt.Printf("network %s: %d nodes, %d edges\n", profile.Name, net.Graph.NumNodes(), net.Graph.NumEdges())
@@ -133,9 +146,9 @@ func main() {
 		}
 
 	case "transitivity":
-		pol, err := parsePolicy(*policy)
+		pol, err := core.ParsePolicy(*policy)
 		if err != nil {
-			fail(err)
+			cliutil.Usage("siot-sim", err)
 		}
 		cfg := sim.DefaultPopulationConfig(*seed)
 		cfg.Parallelism = *parallel
@@ -162,7 +175,7 @@ func main() {
 		case "netprofit":
 			strat = sim.StrategyNetProfit
 		default:
-			fail(fmt.Errorf("unknown strategy %q", *strategy))
+			cliutil.Usage("siot-sim", fmt.Errorf("unknown strategy %q", *strategy))
 		}
 		cfg := sim.DefaultPopulationConfig(*seed)
 		cfg.Parallelism = *parallel
@@ -173,23 +186,6 @@ func main() {
 		fmt.Printf("converged profit (last 33%%) %.3f\n", stats.Mean(series[len(series)*2/3:]))
 
 	default:
-		fail(fmt.Errorf("unknown mode %q", *mode))
+		cliutil.Usage("siot-sim", fmt.Errorf("unknown mode %q", *mode))
 	}
-}
-
-func parsePolicy(s string) (core.Policy, error) {
-	switch s {
-	case "traditional":
-		return core.PolicyTraditional, nil
-	case "conservative":
-		return core.PolicyConservative, nil
-	case "aggressive":
-		return core.PolicyAggressive, nil
-	}
-	return 0, fmt.Errorf("unknown policy %q", s)
-}
-
-func fail(err error) {
-	fmt.Fprintln(os.Stderr, "siot-sim:", err)
-	os.Exit(1)
 }

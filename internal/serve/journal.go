@@ -1,0 +1,149 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// The trust-assertion journal is the engine's audit trail: an append-only
+// JSONL stream recording everything needed to reproduce every served trust
+// value byte-for-byte. The first line is a header carrying the full
+// deterministic construction recipe (network profile, seed, characteristic
+// alphabet, policy, seeding); after that the single writer goroutine appends
+// one line per applied event (in apply order, with a sequence number) and
+// one line per published epoch (with the cumulative applied-event count),
+// while query goroutines append one line per served value (epoch id, inputs,
+// and the answer's exact float64 bits). Because stores mutate only through
+// journaled events and queries read only published epochs, Replay can
+// rebuild the world, re-apply the events, re-capture each epoch, and
+// re-answer each query — and must get bit-identical trust values
+// (TestJournalReplay).
+
+// journalVersion is bumped on breaking format changes.
+const journalVersion = 1
+
+// journalLine is the tagged union of journal entries: exactly one of the
+// payload fields is set, selected by Kind.
+type journalLine struct {
+	Kind   string      `json:"kind"`
+	Header *headerLine `json:"header,omitempty"`
+	Event  *eventLine  `json:"event,omitempty"`
+	Epoch  *epochLine  `json:"epoch,omitempty"`
+	Query  *queryLine  `json:"query,omitempty"`
+}
+
+// headerLine records the deterministic construction recipe of the served
+// world. Replay rebuilds the identical population, task universe, and
+// searcher from these fields alone.
+type headerLine struct {
+	Version int     `json:"version"`
+	Net     string  `json:"net"`
+	Nodes   int     `json:"nodes"`
+	Seed    uint64  `json:"seed"`
+	Chars   int     `json:"chars"`
+	Policy  string  `json:"policy"`
+	Seeded  bool    `json:"seeded"`
+	Theta   float64 `json:"theta"`
+}
+
+// eventLine is one ingested event, journaled at apply time by the writer
+// goroutine, so line order is apply order. Seq is 1-based and dense.
+type eventLine struct {
+	Seq     uint64  `json:"seq"`
+	Op      string  `json:"op"` // "observe" or "recommend"
+	Trustor int32   `json:"trustor"`
+	Trustee int32   `json:"trustee"`
+	Type    int     `json:"type"` // task-type index into the universe
+	Success bool    `json:"success,omitempty"`
+	Gain    float64 `json:"gain,omitempty"`
+	Damage  float64 `json:"damage,omitempty"`
+	Cost    float64 `json:"cost,omitempty"`
+	Abusive bool    `json:"abusive,omitempty"`
+	S       float64 `json:"s,omitempty"`
+	G       float64 `json:"g,omitempty"`
+	D       float64 `json:"d,omitempty"`
+	C       float64 `json:"c,omitempty"`
+}
+
+// epochLine marks an epoch publish. Events is the cumulative applied-event
+// count at capture time — Replay cross-checks it against its own counter.
+type epochLine struct {
+	ID     uint64 `json:"id"`
+	Events uint64 `json:"events"`
+}
+
+// queryLine is one served trust value. TWBits is the exact float64 bit
+// pattern (%016x) — the byte-for-byte replay contract compares these, not
+// the human-readable TW rendering.
+type queryLine struct {
+	Epoch   uint64  `json:"epoch"`
+	Trustor int32   `json:"trustor"`
+	Trustee int32   `json:"trustee"`
+	Type    int     `json:"type"`
+	TW      float64 `json:"tw"`
+	TWBits  string  `json:"tw_bits"`
+	Found   bool    `json:"found"`
+	Direct  bool    `json:"direct"`
+}
+
+// journal serializes concurrent appenders (the writer goroutine for events
+// and epochs, query goroutines for served values) onto one JSONL stream.
+// A nil *journal is valid and discards everything.
+type journal struct {
+	mu  sync.Mutex
+	enc *json.Encoder
+	fl  flusher
+	err error
+}
+
+type flusher interface{ Flush() error }
+
+// newJournal wraps w, or returns nil (a discarding journal) when w is nil.
+// When w is buffered by the caller, pass it as fl too so Close can flush.
+func newJournal(w io.Writer) *journal {
+	if w == nil {
+		return nil
+	}
+	j := &journal{enc: json.NewEncoder(w)}
+	if f, ok := w.(flusher); ok {
+		j.fl = f
+	}
+	return j
+}
+
+// append encodes one line, keeping the first error.
+func (j *journal) append(line journalLine) {
+	if j == nil {
+		return
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.err != nil {
+		return
+	}
+	j.err = j.enc.Encode(line)
+}
+
+func (j *journal) header(h headerLine) { j.append(journalLine{Kind: "header", Header: &h}) }
+func (j *journal) event(e eventLine)   { j.append(journalLine{Kind: "event", Event: &e}) }
+func (j *journal) epoch(e epochLine)   { j.append(journalLine{Kind: "epoch", Epoch: &e}) }
+func (j *journal) query(q queryLine)   { j.append(journalLine{Kind: "query", Query: &q}) }
+
+// close flushes (when the underlying writer is buffered) and returns the
+// first error seen on the stream.
+func (j *journal) close() error {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.err == nil && j.fl != nil {
+		j.err = j.fl.Flush()
+	}
+	if j.err != nil {
+		return fmt.Errorf("serve: journal: %w", j.err)
+	}
+	return nil
+}

@@ -1,0 +1,156 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"runtime"
+
+	"siot/internal/core"
+)
+
+// ReplayStats summarizes a verified journal.
+type ReplayStats struct {
+	Events  uint64 `json:"events"`
+	Epochs  uint64 `json:"epochs"`
+	Queries uint64 `json:"queries"`
+}
+
+// replayEpoch is one re-captured epoch kept alive for the rest of the
+// replay: served queries may reference any past epoch (a query can straddle
+// a swap, and journal lines from concurrent queries interleave), so epochs
+// are only released when the journal ends.
+type replayEpoch struct {
+	view *core.RoundView
+	memo *core.EdgeMemo
+}
+
+// Replay re-executes a trust-assertion journal and verifies it: the world
+// is rebuilt from the header's recipe, events are re-applied in journal
+// order, each epoch marker re-captures a frozen view, and every query line
+// is re-answered from its recorded epoch and compared bit-for-bit against
+// the journaled TW. Any mismatch — sequence gap, event-count drift at an
+// epoch, unknown epoch id, or a single differing bit — fails with a
+// descriptive error. A nil error is the replay contract: every value the
+// engine ever served is reproducible from the journal alone.
+func Replay(r io.Reader) (ReplayStats, error) {
+	var stats ReplayStats
+	dec := json.NewDecoder(r)
+
+	var line journalLine
+	if err := dec.Decode(&line); err != nil {
+		return stats, fmt.Errorf("serve: replay: reading header: %w", err)
+	}
+	if line.Kind != "header" || line.Header == nil {
+		return stats, fmt.Errorf("serve: replay: journal starts with %q, want header", line.Kind)
+	}
+	h := *line.Header
+	if h.Version != journalVersion {
+		return stats, fmt.Errorf("serve: replay: unsupported journal version %d (want %d)", h.Version, journalVersion)
+	}
+	policy, err := core.ParsePolicy(h.Policy)
+	if err != nil {
+		return stats, fmt.Errorf("serve: replay: %w", err)
+	}
+	cfg := Config{
+		Net: h.Net, Nodes: h.Nodes, Seed: h.Seed, Chars: h.Chars,
+		Policy: policy, Seeded: h.Seeded, Theta: h.Theta,
+	}.withDefaults()
+	w, err := buildWorld(cfg)
+	if err != nil {
+		return stats, fmt.Errorf("serve: replay: %w", err)
+	}
+
+	workers := runtime.GOMAXPROCS(0)
+	pool := core.NewArenaPool()
+	epochs := make(map[uint64]*replayEpoch)
+	defer func() {
+		for _, ep := range epochs {
+			ep.memo.Release()
+			ep.view.Release()
+		}
+	}()
+	norm := w.pop.Config().Update.Norm
+	var sr core.SearchResult
+	ln := 1
+	for {
+		ln++
+		line = journalLine{}
+		if err := dec.Decode(&line); err != nil {
+			if errors.Is(err, io.EOF) {
+				return stats, nil
+			}
+			return stats, fmt.Errorf("serve: replay: line %d: %w", ln, err)
+		}
+		switch line.Kind {
+		case "event":
+			ev := line.Event
+			if ev == nil {
+				return stats, fmt.Errorf("serve: replay: line %d: event line without payload", ln)
+			}
+			if ev.Seq != stats.Events+1 {
+				return stats, fmt.Errorf("serve: replay: line %d: event seq %d, want %d", ln, ev.Seq, stats.Events+1)
+			}
+			if ev.Type < 0 || ev.Type >= len(w.setup.Universe.Tasks) {
+				return stats, fmt.Errorf("serve: replay: line %d: task type %d out of range", ln, ev.Type)
+			}
+			tk := w.setup.Universe.Tasks[ev.Type]
+			switch ev.Op {
+			case "observe":
+				out := core.Outcome{Success: ev.Success, Gain: ev.Gain, Damage: ev.Damage, Cost: ev.Cost}
+				w.pop.Agent(core.AgentID(ev.Trustor)).Store.Observe(core.AgentID(ev.Trustee), tk, out, core.PerfectEnv())
+				w.pop.Agent(core.AgentID(ev.Trustee)).Store.ObserveUsage(core.AgentID(ev.Trustor), ev.Abusive)
+			case "recommend":
+				exp := core.Expectation{S: ev.S, G: ev.G, D: ev.D, C: ev.C}
+				w.pop.Agent(core.AgentID(ev.Trustor)).Store.Seed(core.AgentID(ev.Trustee), tk, exp)
+			default:
+				return stats, fmt.Errorf("serve: replay: line %d: unknown event op %q", ln, ev.Op)
+			}
+			stats.Events++
+		case "epoch":
+			ep := line.Epoch
+			if ep == nil {
+				return stats, fmt.Errorf("serve: replay: line %d: epoch line without payload", ln)
+			}
+			if ep.Events != stats.Events {
+				return stats, fmt.Errorf("serve: replay: line %d: epoch %d captured at %d events, journal has applied %d", ln, ep.ID, ep.Events, stats.Events)
+			}
+			if _, dup := epochs[ep.ID]; dup {
+				return stats, fmt.Errorf("serve: replay: line %d: duplicate epoch id %d", ln, ep.ID)
+			}
+			view := w.pop.RoundView(workers, pool)
+			memo := core.NewEdgeMemoPooled(view.TrustView, norm, workers, pool)
+			memo.Require(cfg.Policy, w.setup.Universe.Tasks)
+			epochs[ep.ID] = &replayEpoch{view: view, memo: memo}
+			stats.Epochs++
+		case "query":
+			q := line.Query
+			if q == nil {
+				return stats, fmt.Errorf("serve: replay: line %d: query line without payload", ln)
+			}
+			ep, ok := epochs[q.Epoch]
+			if !ok {
+				return stats, fmt.Errorf("serve: replay: line %d: query references unknown epoch %d", ln, q.Epoch)
+			}
+			if q.Type < 0 || q.Type >= len(w.setup.Universe.Tasks) {
+				return stats, fmt.Errorf("serve: replay: line %d: task type %d out of range", ln, q.Type)
+			}
+			res := answer(w.searcher, ep.view, ep.memo, &sr,
+				core.AgentID(q.Trustor), core.AgentID(q.Trustee), w.setup.Universe.Tasks[q.Type], cfg.Policy)
+			bits := fmt.Sprintf("%016x", math.Float64bits(res.TW))
+			if bits != q.TWBits || res.Found != q.Found || res.Direct != q.Direct {
+				return stats, fmt.Errorf(
+					"serve: replay: line %d: trust(%d, %d, type %d) @ epoch %d diverged: got tw=%v bits=%s found=%v direct=%v, journal has tw=%v bits=%s found=%v direct=%v",
+					ln, q.Trustor, q.Trustee, q.Type, q.Epoch,
+					res.TW, bits, res.Found, res.Direct, q.TW, q.TWBits, q.Found, q.Direct)
+			}
+			stats.Queries++
+		case "header":
+			return stats, fmt.Errorf("serve: replay: line %d: duplicate header", ln)
+		default:
+			return stats, fmt.Errorf("serve: replay: line %d: unknown line kind %q", ln, line.Kind)
+		}
+	}
+}

@@ -1,0 +1,484 @@
+// Package serve is the trust-as-a-service engine: a long-lived online query
+// layer mounted on the frozen-epoch seam the simulation built. It ingests
+// observation/recommendation events concurrently into the sharded stores
+// through one batching writer goroutine, answers trust(trustor, trustee,
+// task) queries lock-free from the current sim.EpochHandle epoch (RoundView
+// + EdgeMemo, one Acquire/Release per request, so a query straddling a swap
+// keeps a consistent snapshot), re-captures and atomically publishes a fresh
+// epoch on a count- or time-triggered cadence, and appends every ingested
+// event and served value to an append-only trust-assertion journal that
+// Replay reproduces byte-for-byte.
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"runtime"
+	"slices"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"siot/internal/benchnet"
+	"siot/internal/core"
+	"siot/internal/sim"
+	"siot/internal/socialgen"
+	"siot/internal/task"
+)
+
+// Config parameterizes an Engine. The world-construction fields (Net, Nodes,
+// Seed, Chars, Policy, Seeded, Theta) are recorded in the journal header —
+// they fully determine the initial state, so Replay rebuilds the identical
+// world from the header alone. The operational fields (cadence, queue and
+// batch sizes, workers) affect only scheduling, never values.
+type Config struct {
+	// Net names a calibrated socialgen profile ("facebook", "gplus",
+	// "twitter"); Nodes > 0 instead selects the canonical benchmark profile
+	// at that node count (benchnet.Profile). Defaults to "facebook".
+	Net   string
+	Nodes int
+	// Seed drives every random choice: network generation, role assignment,
+	// task universe, and experience seeding.
+	Seed uint64
+	// Chars is the task-characteristic alphabet size (default 5; the
+	// universe holds 2*Chars task types).
+	Chars int
+	// Policy is the trust-transfer method used for non-direct answers.
+	Policy core.Policy
+	// Seeded pre-populates experience records (sim.SeedExperience), so the
+	// engine starts with answerable queries instead of a cold store.
+	Seeded bool
+	// Theta is the reverse-evaluation threshold installed on every trustee.
+	Theta float64
+	// EpochEvery re-captures after that many applied events (default 256);
+	// EpochInterval, when positive, also re-captures on a timer if events
+	// were applied since the last capture.
+	EpochEvery    int
+	EpochInterval time.Duration
+	// BatchSize bounds how many queued events the writer applies per wakeup
+	// between capture checks (default 128). QueueSize is the ingest buffer
+	// (default 1024); Ingest blocks when it is full.
+	BatchSize int
+	QueueSize int
+	// Workers bounds capture/memo parallelism (default GOMAXPROCS). Results
+	// are bit-identical at every worker count.
+	Workers int
+	// Journal, when non-nil, receives the trust-assertion journal. If it is
+	// buffered and exposes Flush() error, Close flushes it.
+	Journal io.Writer
+}
+
+// withDefaults fills the zero values.
+func (c Config) withDefaults() Config {
+	if c.Net == "" && c.Nodes <= 0 {
+		c.Net = "facebook"
+	}
+	if c.Chars <= 0 {
+		c.Chars = 5
+	}
+	if c.EpochEvery <= 0 {
+		c.EpochEvery = 256
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 128
+	}
+	if c.QueueSize <= 0 {
+		c.QueueSize = 1024
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	return c
+}
+
+// world is the deterministic state a Config builds: the population, its
+// task universe, and a searcher over it. Both the engine and Replay
+// construct worlds through this one path, which is what makes the replay
+// contract hold.
+type world struct {
+	pop      *sim.Population
+	setup    sim.TransitivitySetup
+	searcher *core.Searcher
+}
+
+// buildWorld constructs the world of a (defaulted) config.
+func buildWorld(cfg Config) (*world, error) {
+	var profile socialgen.Profile
+	if cfg.Nodes > 0 {
+		profile = benchnet.Profile(cfg.Nodes)
+	} else {
+		var err error
+		profile, err = socialgen.ProfileByName(cfg.Net)
+		if err != nil {
+			return nil, fmt.Errorf("serve: %w", err)
+		}
+	}
+	net := socialgen.Generate(profile, cfg.Seed)
+	pcfg := sim.DefaultPopulationConfig(cfg.Seed)
+	pcfg.Theta = cfg.Theta
+	pcfg.Parallelism = cfg.Workers
+	pop := sim.NewPopulation(net, pcfg)
+	setup := sim.DefaultTransitivitySetup(cfg.Chars, pop.Rand("serve-setup"))
+	if cfg.Seeded {
+		sim.SeedExperience(pop, setup, cfg.Seed)
+	}
+	return &world{
+		pop:      pop,
+		setup:    setup,
+		searcher: pop.Searcher(setup.MaxDepth, setup.Omega1, setup.Omega2),
+	}, nil
+}
+
+// EventOp selects what an ingested event does to the stores.
+type EventOp int
+
+const (
+	// OpObserve records a delegation outcome: the trustor observes the
+	// trustee on a task, and the trustee logs how the trustor used its
+	// resources (the reverse-evaluation counter).
+	OpObserve EventOp = iota
+	// OpRecommend seeds the trustor's expectation about the trustee on a
+	// task — third-party experience arriving over the social edge.
+	OpRecommend
+)
+
+// Event is one ingestable store mutation. Tasks are referenced by index
+// into the engine's task universe (TaskTypes), which the journal header
+// pins, so an event is fully described by plain numbers.
+type Event struct {
+	Op      EventOp
+	Trustor core.AgentID
+	Trustee core.AgentID
+	Type    int // task-type index into the universe
+	// OpObserve payload.
+	Outcome core.Outcome
+	Abusive bool
+	// OpRecommend payload.
+	Exp core.Expectation
+}
+
+// TrustResult is one served trust value. Epoch identifies the snapshot it
+// was computed from; Direct reports whether the trustor's own experience
+// answered (otherwise the value came from the policy's transitive search).
+type TrustResult struct {
+	TW     float64
+	Found  bool
+	Direct bool
+	Epoch  uint64
+}
+
+// ErrClosed is returned by Ingest and Trust after Close.
+var ErrClosed = errors.New("serve: engine closed")
+
+// epochPayload rides each published epoch through the EpochHandle: the
+// epoch's id and its Required memo, released with the view by the handle's
+// refcount — one count covers view and memo, so a query straddling a swap
+// reads a consistent (view, memo) pair to the end.
+type epochPayload struct {
+	id   uint64
+	memo *core.EdgeMemo
+}
+
+// ReleaseEpoch implements sim.EpochAttachment.
+func (p *epochPayload) ReleaseEpoch() { p.memo.Release() }
+
+// Engine is the long-lived trust server. All methods are safe for
+// concurrent use; store writes are serialized through one writer goroutine
+// (the frozen-epoch capture requires quiescent stores), queries never touch
+// the stores at all.
+type Engine struct {
+	cfg   Config
+	world *world
+	pool  *core.ArenaPool
+
+	handle sim.EpochHandle
+	queue  chan Event
+	stop   chan struct{}
+	done   chan struct{}
+	closed atomic.Bool
+
+	journal *journal
+	results sync.Pool // *core.SearchResult
+
+	ingested atomic.Uint64
+	applied  atomic.Uint64
+	queries  atomic.Uint64
+	epochs   atomic.Uint64 // published epochs; ids are epochs-1
+	lat      latencyHist
+}
+
+// New builds the world, writes the journal header, publishes epoch 0, and
+// starts the writer goroutine.
+func New(cfg Config) (*Engine, error) {
+	cfg = cfg.withDefaults()
+	w, err := buildWorld(cfg)
+	if err != nil {
+		return nil, err
+	}
+	e := &Engine{
+		cfg:     cfg,
+		world:   w,
+		pool:    core.NewArenaPool(),
+		queue:   make(chan Event, cfg.QueueSize),
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
+		journal: newJournal(cfg.Journal),
+		results: sync.Pool{New: func() any { return new(core.SearchResult) }},
+	}
+	e.journal.header(headerLine{
+		Version: journalVersion,
+		Net:     cfg.Net, Nodes: cfg.Nodes, Seed: cfg.Seed, Chars: cfg.Chars,
+		Policy: cfg.Policy.String(), Seeded: cfg.Seeded, Theta: cfg.Theta,
+	})
+	e.captureAndPublish()
+	go e.run()
+	return e, nil
+}
+
+// NumAgents returns the number of agents in the served population.
+func (e *Engine) NumAgents() int { return len(e.world.pop.Agents) }
+
+// Neighbors returns the social neighbors of an agent, in ascending ID
+// order — the only trustees events about this agent may reference. The
+// slice is shared and must not be modified.
+func (e *Engine) Neighbors(id core.AgentID) []core.AgentID { return e.world.pop.Neighbors(id) }
+
+// TaskTypes returns the closed task universe queries and events index into.
+// The slice is shared and must not be modified.
+func (e *Engine) TaskTypes() []task.Task { return e.world.setup.Universe.Tasks }
+
+// Stats snapshots the engine's counters.
+func (e *Engine) Stats() Stats {
+	return Stats{
+		Ingested:   e.ingested.Load(),
+		Applied:    e.applied.Load(),
+		Queries:    e.queries.Load(),
+		Epochs:     e.epochs.Load(),
+		QueryP50Ns: e.lat.quantile(0.50),
+		QueryP99Ns: e.lat.quantile(0.99),
+	}
+}
+
+// validate rejects events the frozen-epoch contract cannot serve: records
+// live only along social edges (the capture arenas are per-edge), so both
+// event kinds require trustor and trustee to be social neighbors.
+func (e *Engine) validate(ev Event) error {
+	n := core.AgentID(e.NumAgents())
+	if ev.Trustor < 0 || ev.Trustor >= n || ev.Trustee < 0 || ev.Trustee >= n {
+		return fmt.Errorf("serve: agent id out of range [0, %d): trustor %d, trustee %d", n, ev.Trustor, ev.Trustee)
+	}
+	if ev.Trustor == ev.Trustee {
+		return fmt.Errorf("serve: trustor and trustee are both %d", ev.Trustor)
+	}
+	if ev.Type < 0 || ev.Type >= len(e.TaskTypes()) {
+		return fmt.Errorf("serve: task type %d out of range [0, %d)", ev.Type, len(e.TaskTypes()))
+	}
+	if _, ok := slices.BinarySearch(e.world.pop.Neighbors(ev.Trustor), ev.Trustee); !ok {
+		return fmt.Errorf("serve: %d and %d are not social neighbors", ev.Trustor, ev.Trustee)
+	}
+	switch ev.Op {
+	case OpObserve:
+		for _, v := range [...]float64{ev.Outcome.Gain, ev.Outcome.Damage, ev.Outcome.Cost} {
+			if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+				return fmt.Errorf("serve: outcome component %v is not a finite non-negative value", v)
+			}
+		}
+	case OpRecommend:
+		if err := ev.Exp.Validate(); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("serve: unknown event op %d", ev.Op)
+	}
+	return nil
+}
+
+// Ingest validates and enqueues one event for the writer goroutine. It
+// blocks while the queue is full and returns ErrClosed once the engine is
+// closing. Acceptance means the event will be applied and journaled unless
+// Close races the enqueue (a still-queued event at shutdown is dropped
+// before it is journaled, never after).
+func (e *Engine) Ingest(ev Event) error {
+	if err := e.validate(ev); err != nil {
+		return err
+	}
+	if e.closed.Load() {
+		return ErrClosed
+	}
+	select {
+	case e.queue <- ev:
+		e.ingested.Add(1)
+		return nil
+	case <-e.stop:
+		return ErrClosed
+	}
+}
+
+// Trust answers trust(trustor, trustee, type) from the current epoch:
+// direct experience of the trustor when it exists, otherwise the policy's
+// transitive search over the frozen view. The whole answer is computed
+// under one epoch reference — no locks, no store access — and journaled
+// with the epoch id and exact result bits.
+func (e *Engine) Trust(trustor, trustee core.AgentID, typeIdx int) (TrustResult, error) {
+	n := core.AgentID(e.NumAgents())
+	if trustor < 0 || trustor >= n || trustee < 0 || trustee >= n {
+		return TrustResult{}, fmt.Errorf("serve: agent id out of range [0, %d): trustor %d, trustee %d", n, trustor, trustee)
+	}
+	if typeIdx < 0 || typeIdx >= len(e.TaskTypes()) {
+		return TrustResult{}, fmt.Errorf("serve: task type %d out of range [0, %d)", typeIdx, len(e.TaskTypes()))
+	}
+	start := time.Now()
+	ref := e.handle.Acquire()
+	if ref == nil {
+		return TrustResult{}, ErrClosed
+	}
+	pay := ref.Attachment().(*epochPayload)
+	sr := e.results.Get().(*core.SearchResult)
+	res := answer(e.world.searcher, ref.View(), pay.memo, sr, trustor, trustee, e.TaskTypes()[typeIdx], e.cfg.Policy)
+	e.results.Put(sr)
+	res.Epoch = pay.id
+	ref.Release()
+	e.lat.observe(time.Since(start).Nanoseconds())
+	e.queries.Add(1)
+	e.journal.query(queryLine{
+		Epoch: res.Epoch, Trustor: int32(trustor), Trustee: int32(trustee), Type: typeIdx,
+		TW: res.TW, TWBits: fmt.Sprintf("%016x", math.Float64bits(res.TW)),
+		Found: res.Found, Direct: res.Direct,
+	})
+	return res, nil
+}
+
+// answer computes one trust value from a frozen (view, memo) pair. It is
+// shared verbatim by Engine.Trust and Replay — the replay contract is that
+// this function over the re-captured epoch reproduces the journaled bits.
+func answer(s *core.Searcher, view *core.RoundView, memo *core.EdgeMemo, sr *core.SearchResult, trustor, trustee core.AgentID, t task.Task, p core.Policy) TrustResult {
+	if edge, ok := view.EdgeIndex(trustor, trustee); ok {
+		if tw, ok := view.BestTW(edge, t); ok {
+			return TrustResult{TW: tw, Found: true, Direct: true}
+		}
+	}
+	s.FindViewInto(sr, view.TrustView, memo, trustor, t, p)
+	for _, c := range sr.Candidates {
+		if c.ID == trustee {
+			return TrustResult{TW: c.TW, Found: true}
+		}
+	}
+	return TrustResult{}
+}
+
+// Close stops ingestion, drains the queue, retires the current epoch, and
+// flushes the journal. Idempotent; concurrent Trust calls that already hold
+// an epoch reference finish normally.
+func (e *Engine) Close() error {
+	if e.closed.Swap(true) {
+		<-e.done
+		return nil
+	}
+	close(e.stop)
+	<-e.done
+	return e.journal.close()
+}
+
+// run is the writer goroutine: the only store mutator. It applies queued
+// events in batches and re-captures the epoch on the configured cadence.
+// Serializing writes here is what upholds the capture contract — the
+// parallel capture panics if stores mutate mid-pass, so capture and apply
+// must never overlap.
+func (e *Engine) run() {
+	defer close(e.done)
+	var tick <-chan time.Time
+	if e.cfg.EpochInterval > 0 {
+		t := time.NewTicker(e.cfg.EpochInterval)
+		defer t.Stop()
+		tick = t.C
+	}
+	since := 0
+	for {
+		select {
+		case ev := <-e.queue:
+			since += e.applyBatch(ev)
+			if since >= e.cfg.EpochEvery {
+				e.captureAndPublish()
+				since = 0
+			}
+		case <-tick:
+			if since > 0 {
+				e.captureAndPublish()
+				since = 0
+			}
+		case <-e.stop:
+			// Drain what is already queued so accepted events are applied
+			// and journaled, publish them, then retire.
+			for {
+				select {
+				case ev := <-e.queue:
+					since += e.applyBatch(ev)
+					continue
+				default:
+				}
+				break
+			}
+			if since > 0 {
+				e.captureAndPublish()
+			}
+			e.handle.Retire()
+			return
+		}
+	}
+}
+
+// applyBatch applies first plus up to BatchSize-1 more already-queued
+// events, returning how many it applied.
+func (e *Engine) applyBatch(first Event) int {
+	e.apply(first)
+	n := 1
+	for n < e.cfg.BatchSize {
+		select {
+		case ev := <-e.queue:
+			e.apply(ev)
+			n++
+		default:
+			return n
+		}
+	}
+	return n
+}
+
+// apply mutates the stores with one event and journals it, in apply order.
+func (e *Engine) apply(ev Event) {
+	seq := e.applied.Add(1)
+	tk := e.TaskTypes()[ev.Type]
+	line := eventLine{
+		Seq: seq, Trustor: int32(ev.Trustor), Trustee: int32(ev.Trustee), Type: ev.Type,
+	}
+	switch ev.Op {
+	case OpObserve:
+		e.world.pop.Agent(ev.Trustor).Store.Observe(ev.Trustee, tk, ev.Outcome, core.PerfectEnv())
+		e.world.pop.Agent(ev.Trustee).Store.ObserveUsage(ev.Trustor, ev.Abusive)
+		line.Op = "observe"
+		line.Success = ev.Outcome.Success
+		line.Gain, line.Damage, line.Cost = ev.Outcome.Gain, ev.Outcome.Damage, ev.Outcome.Cost
+		line.Abusive = ev.Abusive
+	case OpRecommend:
+		e.world.pop.Agent(ev.Trustor).Store.Seed(ev.Trustee, tk, ev.Exp)
+		line.Op = "recommend"
+		line.S, line.G, line.D, line.C = ev.Exp.S, ev.Exp.G, ev.Exp.D, ev.Exp.C
+	}
+	e.journal.event(line)
+}
+
+// captureAndPublish freezes the stores into a new epoch — round view plus a
+// Required memo — journals the epoch marker, and atomically swaps it in.
+// The journal line precedes the publish, so no query can reference an epoch
+// id the journal has not yet announced.
+func (e *Engine) captureAndPublish() {
+	id := e.epochs.Load()
+	view := e.world.pop.RoundView(e.cfg.Workers, e.pool)
+	memo := core.NewEdgeMemoPooled(view.TrustView, e.world.pop.Config().Update.Norm, e.cfg.Workers, e.pool)
+	memo.Require(e.cfg.Policy, e.TaskTypes())
+	e.journal.epoch(epochLine{ID: id, Events: e.applied.Load()})
+	e.handle.PublishWith(view, &epochPayload{id: id, memo: memo})
+	e.epochs.Store(id + 1)
+}

@@ -30,11 +30,22 @@ type EpochHandle struct {
 	cur atomic.Pointer[epochRec]
 }
 
-// epochRec pairs one published view with its reference count: 1 for the
-// publisher while the epoch is current, plus 1 per outstanding Acquire.
+// EpochAttachment is optional per-epoch payload published alongside a view
+// and released with it: derived read-only state whose lifetime must match
+// the view's exactly (a serving layer's per-epoch memo tables, an epoch id).
+// ReleaseEpoch runs once, when the last reference — publisher or reader —
+// goes away, immediately before the view's arenas return to their pool.
+type EpochAttachment interface {
+	ReleaseEpoch()
+}
+
+// epochRec pairs one published view (and its optional attachment) with its
+// reference count: 1 for the publisher while the epoch is current, plus 1
+// per outstanding Acquire.
 type epochRec struct {
-	view *core.RoundView
-	refs atomic.Int32
+	view   *core.RoundView
+	attach EpochAttachment
+	refs   atomic.Int32
 }
 
 // releaseRec drops one reference, returning the view's arenas to their pool
@@ -43,6 +54,9 @@ type epochRec struct {
 func releaseRec(rec *epochRec) {
 	switch n := rec.refs.Add(-1); {
 	case n == 0:
+		if rec.attach != nil {
+			rec.attach.ReleaseEpoch()
+		}
 		rec.view.Release()
 	case n < 0:
 		panic("sim: epoch reference released twice")
@@ -53,7 +67,16 @@ func releaseRec(rec *epochRec) {
 // if any. The handle takes ownership of the view: it is released back to
 // its arena pool when the epoch is retired and the last reader is gone.
 func (h *EpochHandle) Publish(view *core.RoundView) {
-	rec := &epochRec{view: view}
+	h.PublishWith(view, nil)
+}
+
+// PublishWith is Publish with an attachment riding the epoch: the payload
+// stays readable through Epoch.Attachment for exactly as long as the view
+// itself, and its ReleaseEpoch runs when the last reference goes away. This
+// is how a serving layer keeps per-epoch derived state (memo tables, epoch
+// ids) consistent with the snapshot across swaps: one refcount covers both.
+func (h *EpochHandle) PublishWith(view *core.RoundView, attach EpochAttachment) {
+	rec := &epochRec{view: view, attach: attach}
 	rec.refs.Store(1)
 	if old := h.cur.Swap(rec); old != nil {
 		releaseRec(old)
@@ -100,8 +123,25 @@ type Epoch struct {
 	released atomic.Bool
 }
 
-// View returns the epoch's frozen round view. Valid until Release.
-func (ep *Epoch) View() *core.RoundView { return ep.rec.view }
+// View returns the epoch's frozen round view. Valid until Release; a call
+// after Release panics — the view's arenas may already be recycled into a
+// newer capture, so handing it out would silently serve torn data
+// (TestEpochViewAfterReleasePanics).
+func (ep *Epoch) View() *core.RoundView {
+	if ep.released.Load() {
+		panic("sim: View on a released epoch reference")
+	}
+	return ep.rec.view
+}
+
+// Attachment returns the payload published with the epoch via PublishWith
+// (nil for plain Publish). Same validity as View: panics after Release.
+func (ep *Epoch) Attachment() EpochAttachment {
+	if ep.released.Load() {
+		panic("sim: Attachment on a released epoch reference")
+	}
+	return ep.rec.attach
+}
 
 // Release drops the reference. Exactly once; a second call panics.
 func (ep *Epoch) Release() {

@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"sync"
+	"sync/atomic"
 	"testing"
 
 	"siot/internal/adversary"
@@ -63,6 +65,132 @@ func TestEpochHandleDoubleReleasePanics(t *testing.T) {
 		h.Retire()
 	}()
 	ref.Release()
+}
+
+// TestEpochViewAfterReleasePanics: a released reference must not hand out
+// its view — the arenas may already be recycled into a newer capture, so a
+// silent return would serve torn data. View (and Attachment) must panic the
+// way a double Release does.
+func TestEpochViewAfterReleasePanics(t *testing.T) {
+	net := smallNet(t)
+	p := NewPopulation(net, DefaultPopulationConfig(19))
+	var h EpochHandle
+	h.Publish(p.RoundView(1, nil))
+	defer h.Retire()
+	ref := h.Acquire()
+	if ref.View() == nil {
+		t.Fatal("live reference has no view")
+	}
+	ref.Release()
+	for name, use := range map[string]func(){
+		"View":       func() { ref.View() },
+		"Attachment": func() { ref.Attachment() },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s on a released epoch reference did not panic", name)
+				}
+			}()
+			use()
+		}()
+	}
+}
+
+// epochProbe is a test EpochAttachment counting its releases.
+type epochProbe struct{ released atomic.Int32 }
+
+func (a *epochProbe) ReleaseEpoch() { a.released.Add(1) }
+
+// TestEpochAttachmentLifecycle: a payload published with PublishWith stays
+// readable through every outstanding reference and is released exactly once,
+// when the last reference goes — the contract a serving layer's per-epoch
+// memo tables rely on.
+func TestEpochAttachmentLifecycle(t *testing.T) {
+	net := smallNet(t)
+	p := NewPopulation(net, DefaultPopulationConfig(20))
+	var h EpochHandle
+	a1 := &epochProbe{}
+	h.PublishWith(p.RoundView(1, nil), a1)
+	ref := h.Acquire()
+	if ref.Attachment() != a1 {
+		t.Fatal("acquire did not hand out the published attachment")
+	}
+	// Swap: the straddling reader keeps the old payload alive.
+	a2 := &epochProbe{}
+	h.PublishWith(p.RoundView(1, nil), a2)
+	if ref.Attachment() != a1 {
+		t.Fatal("straddling reader lost its attachment across a swap")
+	}
+	if n := a1.released.Load(); n != 0 {
+		t.Fatalf("attachment released %d times with a reader outstanding", n)
+	}
+	ref.Release()
+	if n := a1.released.Load(); n != 1 {
+		t.Fatalf("old attachment released %d times after last reference, want 1", n)
+	}
+	h.Retire()
+	if n := a2.released.Load(); n != 1 {
+		t.Fatalf("current attachment released %d times after retire, want 1", n)
+	}
+}
+
+// TestEpochHandleConcurrentSoak hammers the handle the way a serving layer
+// does: reader goroutines acquire/read/release in a loop while the writer
+// keeps publishing fresh pooled captures through the same handle. Under
+// -race this covers the acquire-vs-swap and release-vs-retire windows; the
+// per-epoch attachment asserts every epoch is released exactly once.
+func TestEpochHandleConcurrentSoak(t *testing.T) {
+	net := smallNet(t)
+	p := NewPopulation(net, DefaultPopulationConfig(21))
+	pool := core.NewArenaPool()
+	var h EpochHandle
+
+	const (
+		readers   = 4
+		publishes = 60
+	)
+	probes := make([]*epochProbe, 0, publishes)
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !stop.Load() {
+				ref := h.Acquire()
+				if ref == nil {
+					continue
+				}
+				view := ref.View()
+				// Touch the snapshot: a recycled arena under our feet would
+				// trip the race detector here.
+				for e := int32(0); e < int32(view.NumEdges()); e += 7 {
+					_ = view.EdgeRecords(e)
+					_ = view.Usage(e)
+				}
+				if ref.Attachment() == nil {
+					t.Error("live epoch lost its attachment")
+					ref.Release()
+					return
+				}
+				ref.Release()
+			}
+		}()
+	}
+	for i := 0; i < publishes; i++ {
+		probe := &epochProbe{}
+		probes = append(probes, probe)
+		h.PublishWith(p.RoundView(2, pool), probe)
+	}
+	stop.Store(true)
+	wg.Wait()
+	h.Retire()
+	for i, probe := range probes {
+		if n := probe.released.Load(); n != 1 {
+			t.Fatalf("epoch %d released %d times, want exactly 1", i, n)
+		}
+	}
 }
 
 // TestEpochHandleChurnKeepsViewAlive pins the live-read window of identity
