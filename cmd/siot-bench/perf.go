@@ -283,6 +283,45 @@ func benchServeMixedWorkload(nodes int) (testing.BenchmarkResult, serve.Stats) {
 	return res, eng.Stats()
 }
 
+// benchServeIngestFsyncWorkload times one durably acknowledged ingest per
+// op: the journal lives on a real temp file in batch-fsync mode, so each op
+// measures the full group-commit path — enqueue, apply, journal append,
+// fsync, ack. Sequential ingests make every batch a batch of one, the worst
+// case for group commit (no amortization across concurrent producers), so
+// the number is an upper bound on per-event durability cost.
+func benchServeIngestFsyncWorkload(nodes int) (testing.BenchmarkResult, serve.Stats, error) {
+	f, err := os.CreateTemp("", "siot-bench-journal-*.jsonl")
+	if err != nil {
+		return testing.BenchmarkResult{}, serve.Stats{}, err
+	}
+	defer os.Remove(f.Name())
+	defer f.Close()
+	eng, err := serve.New(serve.Config{
+		Nodes: nodes, Seed: benchnet.Seed, Seeded: true, Policy: core.PolicyAggressive,
+		EpochEvery: 1 << 30, Journal: f, Fsync: serve.FsyncBatch,
+	})
+	if err != nil {
+		return testing.BenchmarkResult{}, serve.Stats{}, err
+	}
+	n := eng.NumAgents()
+	types := len(eng.TaskTypes())
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			trustor := core.AgentID(i % n)
+			nbrs := eng.Neighbors(trustor)
+			eng.Ingest(serve.Event{
+				Op: serve.OpObserve, Trustor: trustor, Trustee: nbrs[i%len(nbrs)],
+				Type:    i % types,
+				Outcome: core.Outcome{Success: i%3 != 0, Gain: 0.8, Damage: 0.2, Cost: 0.1},
+			})
+		}
+	})
+	stats := eng.Stats()
+	err = eng.Close()
+	return res, stats, err
+}
+
 // runPerfSuite executes the suite and appends the entry to path (creating
 // the file when absent). With compare set, the fresh measurements are also
 // diffed against the file's previous last entry and any >15% ns/op
@@ -395,6 +434,17 @@ func runPerfSuite(path, label, note string, compare bool) error {
 		"epochs":       float64(sm.Epochs),
 		"query_p50_ns": float64(sm.QueryP50Ns),
 		"query_p99_ns": float64(sm.QueryP99Ns),
+	}
+	entry.Benchmarks = append(entry.Benchmarks, r)
+
+	serveF, sf, err := benchServeIngestFsyncWorkload(1000)
+	if err != nil {
+		return fmt.Errorf("serve-ingest-fsync: %w", err)
+	}
+	r = timed("serve-ingest-fsync", serveF)
+	r.Counters = map[string]float64{
+		"ingested":     float64(sf.Ingested),
+		"fsync_p99_ns": float64(sf.FsyncP99Ns),
 	}
 	entry.Benchmarks = append(entry.Benchmarks, r)
 

@@ -3,12 +3,13 @@
 // the population's trust stores, answers trust(trustor, trustee, type)
 // queries lock-free from the current frozen epoch, republishes the epoch on
 // a count- or time-triggered cadence, and appends every event and served
-// value to a replayable trust-assertion journal.
+// value to a replayable, CRC-protected trust-assertion journal.
 //
 // Usage:
 //
 //	siot-serve -addr 127.0.0.1:8476 -net facebook -seeded -journal trust.jsonl
-//	siot-serve -nodes 1000 -policy conservative -epoch-every 512
+//	siot-serve -nodes 1000 -policy conservative -epoch-every 512 -fsync always
+//	siot-serve -journal trust.jsonl -resume
 //	siot-serve -replay trust.jsonl
 //
 // Endpoints:
@@ -16,8 +17,21 @@
 //	GET  /trust?trustor=A&trustee=B&type=T  one trust value from the current epoch
 //	POST /observe                            {"trustor","trustee","type","success","gain","damage","cost","abusive"}
 //	POST /recommend                          {"trustor","trustee","type","s","g","d","c"}
-//	GET  /stats                              ingest/query/epoch counters with p50/p99 query latency
+//	GET  /stats                              ingest/query/epoch/durability counters
 //	GET  /healthz                            liveness
+//
+// Ingest acknowledgements are durability promises: a 202 means the event's
+// journal line has been fsynced per -fsync (so "batch", the default, groups
+// events into one fsync per applied batch). When the ingest queue stays
+// full past -ingest-timeout the request is shed with 429 and a Retry-After
+// header; when the journal itself fails the engine degrades — ingest
+// returns 503 while queries keep answering from the last durable epoch
+// (watch epoch_staleness_ms in /stats) until a restart with -resume.
+//
+// The journal is opened in append mode and never truncated at startup: a
+// non-empty journal is refused unless -resume is given, in which case the
+// engine is rebuilt from the journal prefix (tolerating one torn final
+// line) and continues appending where it left off.
 //
 // With -replay, siot-serve verifies a journal instead of serving: it
 // rebuilds the world from the journal header, re-applies every event,
@@ -59,6 +73,9 @@ func main() {
 		epochEvery    = flag.Int("epoch-every", 256, "republish the epoch after this many applied events")
 		epochInterval = flag.Duration("epoch-interval", time.Second, "also republish on this interval when events arrived (0 disables)")
 		journalPath   = flag.String("journal", "", "append the trust-assertion journal to this file")
+		fsyncName     = flag.String("fsync", "batch", "journal durability: always (fsync per event), batch (fsync per applied batch and epoch), off")
+		resume        = flag.Bool("resume", false, "recover engine state from the existing -journal (truncating a torn tail) and continue appending")
+		ingestTimeout = flag.Duration("ingest-timeout", time.Second, "how long ingest requests wait for a full queue before shedding with 429 (0 = wait indefinitely)")
 		replayPath    = flag.String("replay", "", "verify a journal byte-for-byte and exit (no server)")
 		parallel      = flag.Int("parallel", 0, "capture worker-pool width (0 = GOMAXPROCS); values are identical at any width")
 	)
@@ -72,6 +89,13 @@ func main() {
 		if err != nil {
 			cliutil.Usage("siot-serve", err)
 		}
+	}
+	fsync, err := serve.ParseFsyncMode(*fsyncName)
+	if err != nil {
+		cliutil.Usage("siot-serve", err)
+	}
+	if *resume && *journalPath == "" {
+		cliutil.Usage("siot-serve", errors.New("-resume requires -journal"))
 	}
 
 	if *replayPath != "" {
@@ -98,31 +122,49 @@ func main() {
 		Net: *netName, Nodes: *nodes, Seed: *seed, Chars: *chars,
 		Policy: policy, Seeded: *seeded, Theta: *theta,
 		EpochEvery: *epochEvery, EpochInterval: *epochInterval,
-		Workers: *parallel,
+		Workers: *parallel, Fsync: fsync,
 	}
 	var journalFile *os.File
-	var journalBuf *bufio.Writer
 	if *journalPath != "" {
-		journalFile, err = os.Create(*journalPath)
+		journalFile, err = os.OpenFile(*journalPath, os.O_RDWR|os.O_CREATE|os.O_APPEND, 0o644)
 		if err != nil {
 			cliutil.Runtime("siot-serve", err)
 		}
-		journalBuf = bufio.NewWriter(journalFile)
-		cfg.Journal = journalBuf
+		info, err := journalFile.Stat()
+		if err != nil {
+			cliutil.Runtime("siot-serve", err)
+		}
+		if !*resume && info.Size() > 0 {
+			cliutil.Usage("siot-serve", fmt.Errorf(
+				"journal %s already holds %d bytes; pass -resume to recover from it (or -replay to verify it)",
+				*journalPath, info.Size()))
+		}
+		cfg.Journal = journalFile
 	}
 
-	engine, err := serve.New(cfg)
-	if err != nil {
-		cliutil.Usage("siot-serve", err)
+	var engine *serve.Engine
+	if *resume {
+		var rstats serve.RecoverStats
+		engine, rstats, err = serve.Recover(journalFile, cfg)
+		if err != nil {
+			cliutil.Runtime("siot-serve", err)
+		}
+		log.Printf("siot-serve: recovered %d events, %d epochs, %d queries from %s (%d torn bytes truncated)",
+			rstats.Events, rstats.Epochs, rstats.Queries, *journalPath, rstats.TornBytes)
+	} else {
+		engine, err = serve.New(cfg)
+		if err != nil {
+			cliutil.Usage("siot-serve", err)
+		}
 	}
 
-	srv := &http.Server{Addr: *addr, Handler: newHandler(engine)}
+	srv := &http.Server{Addr: *addr, Handler: newHandler(engine, *ingestTimeout)}
 	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer cancel()
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
-	log.Printf("siot-serve: %d agents, %d task types, policy %s, listening on %s",
-		engine.NumAgents(), len(engine.TaskTypes()), policy, *addr)
+	log.Printf("siot-serve: %d agents, %d task types, policy %s, fsync %s, listening on %s",
+		engine.NumAgents(), len(engine.TaskTypes()), policy, fsync, *addr)
 
 	select {
 	case <-ctx.Done():
@@ -136,6 +178,9 @@ func main() {
 		log.Printf("siot-serve: shutdown: %v", err)
 	}
 	if err := engine.Close(); err != nil {
+		// The drain could not make every acknowledged event durable; the
+		// error names the first event seq whose journal line is suspect.
+		log.Printf("siot-serve: journal drain failed: %v", err)
 		cliutil.Runtime("siot-serve", err)
 	}
 	if journalFile != nil {
@@ -179,8 +224,19 @@ type recommendRequest struct {
 }
 
 // newHandler routes the engine's API. Split from main so the tests can
-// drive it through httptest without a listener.
-func newHandler(e *serve.Engine) http.Handler {
+// drive it through httptest without a listener. ingestTimeout bounds how
+// long an ingest request may wait on a full queue before shedding (0 waits
+// indefinitely).
+func newHandler(e *serve.Engine, ingestTimeout time.Duration) http.Handler {
+	ingest := func(r *http.Request, ev serve.Event) error {
+		ctx := r.Context()
+		if ingestTimeout > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, ingestTimeout)
+			defer cancel()
+		}
+		return e.IngestCtx(ctx, ev)
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /trust", func(w http.ResponseWriter, r *http.Request) {
 		q := r.URL.Query()
@@ -209,7 +265,7 @@ func newHandler(e *serve.Engine) http.Handler {
 			httpError(w, http.StatusBadRequest, err)
 			return
 		}
-		err := e.Ingest(serve.Event{
+		err := ingest(r, serve.Event{
 			Op: serve.OpObserve, Trustor: core.AgentID(req.Trustor), Trustee: core.AgentID(req.Trustee),
 			Type:    req.Type,
 			Outcome: core.Outcome{Success: req.Success, Gain: req.Gain, Damage: req.Damage, Cost: req.Cost},
@@ -227,7 +283,7 @@ func newHandler(e *serve.Engine) http.Handler {
 			httpError(w, http.StatusBadRequest, err)
 			return
 		}
-		err := e.Ingest(serve.Event{
+		err := ingest(r, serve.Event{
 			Op: serve.OpRecommend, Trustor: core.AgentID(req.Trustor), Trustee: core.AgentID(req.Trustee),
 			Type: req.Type,
 			Exp:  core.Expectation{S: req.S, G: req.G, D: req.D, C: req.C},
@@ -247,11 +303,18 @@ func newHandler(e *serve.Engine) http.Handler {
 	return mux
 }
 
+// statusFor maps engine errors to HTTP statuses: a full queue is the
+// client's cue to back off (429), a closed or degraded engine is a server
+// condition (503), anything else is a bad request.
 func statusFor(err error) int {
-	if errors.Is(err, serve.ErrClosed) {
+	switch {
+	case errors.Is(err, serve.ErrOverloaded):
+		return http.StatusTooManyRequests
+	case errors.Is(err, serve.ErrClosed), errors.Is(err, serve.ErrDegraded):
 		return http.StatusServiceUnavailable
+	default:
+		return http.StatusBadRequest
 	}
-	return http.StatusBadRequest
 }
 
 func writeJSON(w http.ResponseWriter, v any) {
@@ -260,6 +323,9 @@ func writeJSON(w http.ResponseWriter, v any) {
 }
 
 func httpError(w http.ResponseWriter, status int, err error) {
+	if status == http.StatusTooManyRequests {
+		w.Header().Set("Retry-After", "1")
+	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})

@@ -3,13 +3,18 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
+	"time"
 
+	"siot/internal/faultfs"
 	"siot/internal/serve"
 )
 
@@ -30,7 +35,7 @@ func startServer(t *testing.T) (*httptest.Server, *serve.Engine, string) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv := httptest.NewServer(newHandler(e))
+	srv := httptest.NewServer(newHandler(e, time.Second))
 	t.Cleanup(srv.Close)
 	return srv, e, path
 }
@@ -144,6 +149,167 @@ func postJSON(t *testing.T, url string, body any, wantStatus int) {
 	if resp.StatusCode != wantStatus {
 		t.Fatalf("POST %s: status %d, want %d", url, resp.StatusCode, wantStatus)
 	}
+}
+
+// TestStatusFor pins the engine-error → HTTP status mapping, including the
+// Retry-After header that rides along with every 429.
+func TestStatusFor(t *testing.T) {
+	cases := []struct {
+		err        error
+		status     int
+		retryAfter bool
+	}{
+		{serve.ErrOverloaded, http.StatusTooManyRequests, true},
+		{fmt.Errorf("wrapped: %w", serve.ErrOverloaded), http.StatusTooManyRequests, true},
+		{serve.ErrClosed, http.StatusServiceUnavailable, false},
+		{serve.ErrDegraded, http.StatusServiceUnavailable, false},
+		{fmt.Errorf("%w: fsync: boom", serve.ErrDegraded), http.StatusServiceUnavailable, false},
+		{errors.New("trustee 9 is not a neighbor"), http.StatusBadRequest, false},
+	}
+	for _, tc := range cases {
+		if got := statusFor(tc.err); got != tc.status {
+			t.Errorf("statusFor(%v) = %d, want %d", tc.err, got, tc.status)
+		}
+		rec := httptest.NewRecorder()
+		httpError(rec, statusFor(tc.err), tc.err)
+		if got := rec.Header().Get("Retry-After") != ""; got != tc.retryAfter {
+			t.Errorf("%v: Retry-After present = %v, want %v", tc.err, got, tc.retryAfter)
+		}
+		var body map[string]string
+		if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil || body["error"] == "" {
+			t.Errorf("%v: error body %q not a JSON error object (%v)", tc.err, rec.Body.String(), err)
+		}
+	}
+}
+
+// TestStatsKeys pins the /stats JSON contract: every documented counter key
+// is present, and the durability counters carry sane values on a live
+// engine.
+func TestStatsKeys(t *testing.T) {
+	srv, e, _ := startServer(t)
+	defer e.Close()
+	postJSON(t, srv.URL+"/observe", map[string]any{
+		"trustor": 0, "trustee": int(firstNeighbor(e)), "type": 0,
+		"success": true, "gain": 0.5, "damage": 0.1, "cost": 0.1,
+	}, http.StatusAccepted)
+	getJSON(t, srv.URL+"/trust?trustor=0&trustee=5&type=0", nil)
+
+	var raw map[string]json.RawMessage
+	getJSON(t, srv.URL+"/stats", &raw)
+	for _, key := range []string{
+		"ingested", "applied", "queries", "epochs",
+		"query_p50_ns", "query_p99_ns",
+		"queue_depth", "shed_total", "fsync_p99_ns",
+		"recovered_events", "epoch_staleness_ms", "degraded",
+	} {
+		if _, ok := raw[key]; !ok {
+			t.Errorf("/stats is missing key %q", key)
+		}
+	}
+	var st serve.Stats
+	getJSON(t, srv.URL+"/stats", &st)
+	if st.Degraded {
+		t.Error("healthy engine reports degraded")
+	}
+	if st.ShedTotal != 0 || st.RecoveredEvents != 0 {
+		t.Errorf("fresh engine: shed=%d recovered=%d, want 0, 0", st.ShedTotal, st.RecoveredEvents)
+	}
+	if st.EpochStalenessMs < 0 {
+		t.Errorf("epoch_staleness_ms = %d is negative", st.EpochStalenessMs)
+	}
+	if st.FsyncP99Ns == 0 {
+		t.Error("fsync_p99_ns = 0 after a journaled batch in the default batch mode")
+	}
+}
+
+// TestIngestShedsOver429 drives backpressure end to end through the HTTP
+// layer: with a stalled journal disk and a one-slot queue, an ingest
+// request that cannot be admitted within the handler's timeout is shed with
+// 429 and Retry-After, and the engine recovers once the disk does.
+func TestIngestShedsOver429(t *testing.T) {
+	jf := faultfs.NewFile(nil)
+	e, err := serve.New(serve.Config{
+		Net: "twitter", Seed: 7, Seeded: true,
+		EpochEvery: 1 << 30, QueueSize: 1, BatchSize: 1, Journal: jf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	release := jf.StallSyncs()
+	defer release()
+	srv := httptest.NewServer(newHandler(e, 25*time.Millisecond))
+	defer srv.Close()
+
+	nb := int(firstNeighbor(e))
+	obs := map[string]any{
+		"trustor": 0, "trustee": nb, "type": 0,
+		"success": true, "gain": 0.5, "damage": 0.1, "cost": 0.1,
+	}
+	b, _ := json.Marshal(obs)
+
+	// Acks are durability promises, so posts admitted while the disk is
+	// stalled block until release: fire fillers in goroutines until one
+	// event sits in the writer and another fills the one-slot queue. A
+	// filler that loses the admission race sheds with 429 and retries.
+	var wg sync.WaitGroup
+	for range 2 {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				resp, err := http.Post(srv.URL+"/observe", "application/json", bytes.NewReader(b))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				code := resp.StatusCode
+				resp.Body.Close()
+				switch code {
+				case http.StatusAccepted:
+					return
+				case http.StatusTooManyRequests:
+					continue
+				default:
+					t.Errorf("filler post: status %d", code)
+					return
+				}
+			}
+		}()
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for e.Stats().QueueDepth < 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("ingest queue never filled")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// The queue is full and nothing can drain: this post must shed.
+	resp, err := http.Post(srv.URL+"/observe", "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("post against a full queue: status %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After")
+	}
+	var st serve.Stats
+	getJSON(t, srv.URL+"/stats", &st)
+	if st.ShedTotal == 0 {
+		t.Fatal("shed_total = 0 after a 429")
+	}
+	// Queries are unaffected by ingest backpressure.
+	if resp := getJSON(t, srv.URL+"/trust?trustor=0&trustee=5&type=0", nil); resp.StatusCode != http.StatusOK {
+		t.Fatalf("trust during backpressure: %d", resp.StatusCode)
+	}
+
+	release()
+	wg.Wait()
+	postJSON(t, srv.URL+"/observe", obs, http.StatusAccepted)
 }
 
 // TestTrustParamErrors pins the error body shape.

@@ -1,0 +1,301 @@
+// Package faultfs provides injectable journal backing stores for
+// crash-safety tests. File is an in-memory WriteSyncer that models what a
+// real disk does under failure: it separates durable bytes (covered by a
+// completed Sync) from volatile ones (written but unsynced), fails or
+// short-writes at a scripted byte offset, fails or stalls at a scripted
+// Sync call, and produces "crash images" — the byte prefixes a real file
+// could still hold after a SIGKILL or power cut. Image is the read side: a
+// RecoverFile over a crash image that recovery code can scan, truncate, and
+// append to.
+//
+// The package lets table-driven tests prove the serving layer's two crash
+// invariants without touching a real filesystem: no acknowledged event is
+// ever lost (acknowledged implies synced implies in every crash image), and
+// no unacknowledged tail corrupts replay (recovery truncates it).
+package faultfs
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// ErrInjected is the default error returned by scripted write and sync
+// faults.
+var ErrInjected = errors.New("faultfs: injected fault")
+
+// File is an in-memory journal file with fault injection. The zero value is
+// not usable; call NewFile. All methods are safe for concurrent use.
+type File struct {
+	mu       sync.Mutex
+	durable  []byte // survives any crash: covered by a completed, honest Sync
+	volatile []byte // written but not yet synced; a crash may keep any prefix
+
+	off    int // sequential read offset over durable+volatile
+	writes int
+	syncs  int
+
+	failWriteAt int64 // total byte offset at which writes start failing; -1 = never
+	writeErr    error
+	failSyncAt  int // 1-based Sync call that fails; 0 = never
+	syncErr     error
+	dropSyncs   bool          // Sync reports success but promotes nothing (lying disk)
+	syncGate    chan struct{} // when non-nil, Sync blocks until this closes
+}
+
+// NewFile returns a File whose durable prefix is initialized to contents
+// (typically a previous crash image; pass nil for an empty file).
+func NewFile(contents []byte) *File {
+	return &File{
+		durable:     append([]byte(nil), contents...),
+		failWriteAt: -1,
+	}
+}
+
+// FailWriteAt arms a short-write fault: the write that would carry the
+// file's total size past offset stores only the bytes up to it and returns
+// err (ErrInjected when err is nil), as a disk running out of space or a
+// kernel interrupting a write does. Subsequent writes keep failing with a
+// zero-byte short write.
+func (f *File) FailWriteAt(offset int64, err error) {
+	if err == nil {
+		err = ErrInjected
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.failWriteAt = offset
+	f.writeErr = err
+}
+
+// FailSyncAt arms a sync fault: the nth Sync call (1-based) and every later
+// one return err (ErrInjected when err is nil) without promoting volatile
+// bytes — an EIO from fsync means the data may not be on disk.
+func (f *File) FailSyncAt(nth int, err error) {
+	if err == nil {
+		err = ErrInjected
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.failSyncAt = nth
+	f.syncErr = err
+}
+
+// DropSyncs makes Sync lie: it reports success but promotes nothing, so a
+// later Crash loses everything written since the last honest sync.
+func (f *File) DropSyncs(drop bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.dropSyncs = drop
+}
+
+// StallSyncs makes every Sync block until the returned release function is
+// called — a hung disk. Syncs that were blocked complete normally (and
+// promote) once released.
+func (f *File) StallSyncs() (release func()) {
+	gate := make(chan struct{})
+	f.mu.Lock()
+	f.syncGate = gate
+	f.mu.Unlock()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			f.mu.Lock()
+			f.syncGate = nil
+			f.mu.Unlock()
+			close(gate)
+		})
+	}
+}
+
+// Read reads sequentially over the full (durable + volatile) contents, so a
+// File pre-loaded with a crash image doubles as the recovery input
+// (serve.RecoverFile) for the session that then keeps journaling into it.
+func (f *File) Read(p []byte) (int, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	total := len(f.durable) + len(f.volatile)
+	if f.off >= total {
+		return 0, io.EOF
+	}
+	n := 0
+	if f.off < len(f.durable) {
+		n = copy(p, f.durable[f.off:])
+	} else {
+		n = copy(p, f.volatile[f.off-len(f.durable):])
+	}
+	f.off += n
+	return n, nil
+}
+
+// Truncate clips the file to size bytes (volatile tail first), clamping the
+// read offset — what recovery's torn-tail rule does to a crashed journal.
+func (f *File) Truncate(size int64) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	total := int64(len(f.durable) + len(f.volatile))
+	if size < 0 || size > total {
+		return fmt.Errorf("faultfs: truncate %d out of range [0, %d]", size, total)
+	}
+	if size <= int64(len(f.durable)) {
+		f.durable = f.durable[:size]
+		f.volatile = f.volatile[:0]
+	} else {
+		f.volatile = f.volatile[:size-int64(len(f.durable))]
+	}
+	if int64(f.off) > size {
+		f.off = int(size)
+	}
+	return nil
+}
+
+// Write appends p, honoring an armed short-write fault.
+func (f *File) Write(p []byte) (int, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.writes++
+	size := int64(len(f.durable) + len(f.volatile))
+	if f.failWriteAt >= 0 && size+int64(len(p)) > f.failWriteAt {
+		keep := f.failWriteAt - size
+		if keep < 0 {
+			keep = 0
+		}
+		f.volatile = append(f.volatile, p[:keep]...)
+		return int(keep), f.writeErr
+	}
+	f.volatile = append(f.volatile, p...)
+	return len(p), nil
+}
+
+// Sync promotes volatile bytes to durable, honoring armed sync faults and
+// stalls. A failing or lying sync promotes nothing.
+func (f *File) Sync() error {
+	f.mu.Lock()
+	gate := f.syncGate
+	f.mu.Unlock()
+	if gate != nil {
+		<-gate
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.syncs++
+	if f.failSyncAt > 0 && f.syncs >= f.failSyncAt {
+		return f.syncErr
+	}
+	if f.dropSyncs {
+		return nil
+	}
+	f.durable = append(f.durable, f.volatile...)
+	f.volatile = f.volatile[:0]
+	return nil
+}
+
+// Syncs reports how many Sync calls completed (including failed ones).
+func (f *File) Syncs() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.syncs
+}
+
+// Size reports the file's total (durable + volatile) length.
+func (f *File) Size() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return int64(len(f.durable) + len(f.volatile))
+}
+
+// DurableSize reports how many bytes every crash image is guaranteed to
+// keep.
+func (f *File) DurableSize() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return int64(len(f.durable))
+}
+
+// Crash simulates a SIGKILL or power cut: it returns the surviving file
+// contents — every durable byte plus the first extraVolatile bytes of the
+// unsynced tail (the kernel may have written back any prefix of the page
+// cache, so callers sweep extraVolatile across [0, unsynced] to cover every
+// possible torn tail). The File itself is left unchanged, so one session
+// can be crashed at many points.
+func (f *File) Crash(extraVolatile int) []byte {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if extraVolatile > len(f.volatile) {
+		extraVolatile = len(f.volatile)
+	}
+	img := make([]byte, 0, len(f.durable)+extraVolatile)
+	img = append(img, f.durable...)
+	img = append(img, f.volatile[:extraVolatile]...)
+	return img
+}
+
+// Bytes returns the full current contents (durable + volatile) — what a
+// clean shutdown would leave on disk.
+func (f *File) Bytes() []byte {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]byte, 0, len(f.durable)+len(f.volatile))
+	out = append(out, f.durable...)
+	out = append(out, f.volatile...)
+	return out
+}
+
+// Image is an in-memory crash image implementing the read/truncate/append
+// surface recovery code needs (serve.RecoverFile) plus Sync, so a recovered
+// engine can keep journaling into it with full durability accounting left
+// to the test.
+type Image struct {
+	mu   sync.Mutex
+	data []byte
+	off  int
+}
+
+// NewImage wraps a crash image (the contents are copied).
+func NewImage(contents []byte) *Image {
+	return &Image{data: append([]byte(nil), contents...)}
+}
+
+// Read reads sequentially from the current offset.
+func (im *Image) Read(p []byte) (int, error) {
+	im.mu.Lock()
+	defer im.mu.Unlock()
+	if im.off >= len(im.data) {
+		return 0, io.EOF
+	}
+	n := copy(p, im.data[im.off:])
+	im.off += n
+	return n, nil
+}
+
+// Write appends, as an O_APPEND file does regardless of the read offset.
+func (im *Image) Write(p []byte) (int, error) {
+	im.mu.Lock()
+	defer im.mu.Unlock()
+	im.data = append(im.data, p...)
+	return len(p), nil
+}
+
+// Truncate clips the image to size bytes, clamping the read offset.
+func (im *Image) Truncate(size int64) error {
+	im.mu.Lock()
+	defer im.mu.Unlock()
+	if size < 0 || size > int64(len(im.data)) {
+		return fmt.Errorf("faultfs: truncate %d out of range [0, %d]", size, len(im.data))
+	}
+	im.data = im.data[:size]
+	if im.off > len(im.data) {
+		im.off = len(im.data)
+	}
+	return nil
+}
+
+// Sync is a no-op: an Image models bytes that already survived a crash.
+func (im *Image) Sync() error { return nil }
+
+// Bytes returns the image's current contents.
+func (im *Image) Bytes() []byte {
+	im.mu.Lock()
+	defer im.mu.Unlock()
+	return append([]byte(nil), im.data...)
+}

@@ -1,0 +1,186 @@
+package faultfs
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+	"time"
+)
+
+// TestDurabilityModel pins the write/sync/crash semantics the serve-layer
+// crash tests lean on: written bytes are volatile until a completed Sync,
+// and a crash keeps exactly the durable prefix plus the requested slice of
+// the volatile tail.
+func TestDurabilityModel(t *testing.T) {
+	f := NewFile(nil)
+	if _, err := f.Write([]byte("aaaa")); err != nil {
+		t.Fatal(err)
+	}
+	if got := f.DurableSize(); got != 0 {
+		t.Fatalf("durable before sync = %d", got)
+	}
+	if img := f.Crash(0); len(img) != 0 {
+		t.Fatalf("crash before sync kept %q", img)
+	}
+	if img := f.Crash(2); string(img) != "aa" {
+		t.Fatalf("torn crash image %q, want aa", img)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if got := f.DurableSize(); got != 4 {
+		t.Fatalf("durable after sync = %d", got)
+	}
+	f.Write([]byte("bbbb"))
+	if img := f.Crash(1); string(img) != "aaaab" {
+		t.Fatalf("crash image %q, want aaaab", img)
+	}
+	// Crash is non-destructive: the live file still holds everything.
+	if got := f.Bytes(); string(got) != "aaaabbbb" {
+		t.Fatalf("file contents %q", got)
+	}
+	// extraVolatile beyond the unsynced tail is clamped.
+	if img := f.Crash(99); string(img) != "aaaabbbb" {
+		t.Fatalf("clamped crash image %q", img)
+	}
+}
+
+// TestWriteFault pins the short-write script: the write crossing the armed
+// offset stores only the prefix and fails, like a full disk.
+func TestWriteFault(t *testing.T) {
+	f := NewFile(nil)
+	f.FailWriteAt(6, nil)
+	n, err := f.Write([]byte("aaaa"))
+	if n != 4 || err != nil {
+		t.Fatalf("write before fault: %d, %v", n, err)
+	}
+	n, err = f.Write([]byte("bbbb"))
+	if n != 2 || !errors.Is(err, ErrInjected) {
+		t.Fatalf("short write = %d, %v; want 2, ErrInjected", n, err)
+	}
+	n, err = f.Write([]byte("cc"))
+	if n != 0 || err == nil {
+		t.Fatalf("write after fault = %d, %v", n, err)
+	}
+	if got := f.Bytes(); string(got) != "aaaabb" {
+		t.Fatalf("contents %q, want aaaabb", got)
+	}
+}
+
+// TestSyncFaults pins the failing and lying sync scripts.
+func TestSyncFaults(t *testing.T) {
+	f := NewFile(nil)
+	f.FailSyncAt(2, nil)
+	f.Write([]byte("aa"))
+	if err := f.Sync(); err != nil {
+		t.Fatalf("sync 1: %v", err)
+	}
+	f.Write([]byte("bb"))
+	if err := f.Sync(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("sync 2 = %v, want ErrInjected", err)
+	}
+	if got := f.DurableSize(); got != 2 {
+		t.Fatalf("failed sync promoted bytes: durable = %d", got)
+	}
+	if got := f.Syncs(); got != 2 {
+		t.Fatalf("syncs = %d", got)
+	}
+
+	lying := NewFile(nil)
+	lying.DropSyncs(true)
+	lying.Write([]byte("xx"))
+	if err := lying.Sync(); err != nil {
+		t.Fatalf("lying sync errored: %v", err)
+	}
+	if got := lying.DurableSize(); got != 0 {
+		t.Fatalf("lying sync promoted bytes: durable = %d", got)
+	}
+}
+
+// TestStallSyncs pins the hung-disk script: Sync blocks until released,
+// then completes and promotes.
+func TestStallSyncs(t *testing.T) {
+	f := NewFile(nil)
+	release := f.StallSyncs()
+	f.Write([]byte("aa"))
+	done := make(chan error, 1)
+	go func() { done <- f.Sync() }()
+	select {
+	case err := <-done:
+		t.Fatalf("stalled sync returned early: %v", err)
+	case <-time.After(20 * time.Millisecond):
+	}
+	release()
+	release() // idempotent
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("released sync: %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("sync never unstuck")
+	}
+	if got := f.DurableSize(); got != 2 {
+		t.Fatalf("durable after released sync = %d", got)
+	}
+}
+
+// TestFileReadTruncate pins the RecoverFile surface of File: sequential
+// reads over the full contents, truncation clipping the volatile tail
+// first, and appends landing at the (possibly truncated) end.
+func TestFileReadTruncate(t *testing.T) {
+	f := NewFile([]byte("durable:"))
+	f.Write([]byte("volatile"))
+	got, err := io.ReadAll(f)
+	if err != nil || string(got) != "durable:volatile" {
+		t.Fatalf("read = %q, %v", got, err)
+	}
+	if err := f.Truncate(10); err != nil {
+		t.Fatal(err)
+	}
+	if got := f.Bytes(); string(got) != "durable:vo" {
+		t.Fatalf("after truncate: %q", got)
+	}
+	if got := f.DurableSize(); got != 8 {
+		t.Fatalf("truncate ate durable bytes: %d", got)
+	}
+	if err := f.Truncate(4); err != nil {
+		t.Fatal(err)
+	}
+	if got := f.Bytes(); string(got) != "dura" {
+		t.Fatalf("after deep truncate: %q", got)
+	}
+	if err := f.Truncate(99); err == nil {
+		t.Fatal("truncate past the end succeeded")
+	}
+	f.Write([]byte("X"))
+	if got := f.Bytes(); string(got) != "duraX" {
+		t.Fatalf("append after truncate: %q", got)
+	}
+}
+
+// TestImage pins the in-memory crash image: sequential read, O_APPEND-style
+// write, truncate with offset clamping.
+func TestImage(t *testing.T) {
+	im := NewImage([]byte("hello\n"))
+	got, err := io.ReadAll(im)
+	if err != nil || !bytes.Equal(got, []byte("hello\n")) {
+		t.Fatalf("read = %q, %v", got, err)
+	}
+	if _, err := im.Write([]byte("tail")); err != nil {
+		t.Fatal(err)
+	}
+	if err := im.Truncate(7); err != nil {
+		t.Fatal(err)
+	}
+	if string(im.Bytes()) != "hello\nt" {
+		t.Fatalf("after truncate: %q", im.Bytes())
+	}
+	if err := im.Truncate(-1); err == nil {
+		t.Fatal("negative truncate succeeded")
+	}
+	if err := im.Sync(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,155 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"io"
+)
+
+// RecoverFile is the journal backing store Recover needs: sequential reads
+// of the existing prefix, truncation of a torn tail, and appends for the
+// resumed engine's continuation. *os.File (opened O_RDWR|O_APPEND) and
+// faultfs.Image satisfy it; when it also implements Sync() error the
+// resumed journal keeps its durability guarantees.
+type RecoverFile interface {
+	io.Reader
+	io.Writer
+	Truncate(size int64) error
+}
+
+// RecoverStats summarizes a recovery: how much journaled state was
+// re-applied and how many torn-tail bytes were truncated away.
+type RecoverStats struct {
+	Events    uint64 `json:"events"`
+	Epochs    uint64 `json:"epochs"`
+	Queries   uint64 `json:"queries"`
+	TornBytes int64  `json:"torn_bytes"`
+}
+
+// Recover rebuilds a serving engine from a crashed journal and keeps the
+// journal as its continuation: the world is rebuilt from the header's
+// recipe, every event is re-applied in sequence (queries are counted, not
+// re-verified — Replay is the auditor), the event and epoch counters resume
+// where the journal left off, and a fresh epoch is captured, journaled
+// under the next id, and published before the engine starts serving — so
+// the continued journal stays a single contiguous stream that Replay
+// verifies end to end.
+//
+// The torn-tail rule: exactly one damaged final line (torn by a crash
+// mid-write, or failing its CRC) is tolerated — it is truncated away,
+// because group-commit ordering means a torn final line was never
+// acknowledged. Damage anywhere earlier is a hard error: an acknowledged
+// prefix that cannot be read back is data loss, and silently skipping it
+// would serve wrong state.
+//
+// A journal that is empty (or holds only a torn header line) recovers to a
+// fresh engine: the tail is truncated and New takes over, writing a new
+// header. Recover overrides cfg's world-construction fields with the
+// header's; only cfg's operational fields (cadence, queue, batch, workers,
+// fsync) apply. cfg.Journal is ignored — f is the journal.
+func Recover(f RecoverFile, cfg Config) (*Engine, RecoverStats, error) {
+	var stats RecoverStats
+	cfg = cfg.withDefaults()
+	cfg.Journal = f
+
+	s := newJournalScanner(f)
+	hcfg, err := replayHeader(s)
+	var corrupt *corruptError
+	switch {
+	case errors.Is(err, io.EOF):
+		// Zero-byte journal: fresh start.
+		e, nerr := New(cfg)
+		return e, stats, nerr
+	case errors.As(err, &corrupt) && corrupt.Ln == 1:
+		// The header line itself is the torn tail: nothing durable ever
+		// made it to disk, so truncate to empty and start fresh.
+		if _, err := s.next(); !errors.Is(err, io.EOF) {
+			return nil, stats, fmt.Errorf("serve: recover: header %w, but the journal continues past it", corrupt)
+		}
+		stats.TornBytes = s.Off() - corrupt.Off
+		if err := f.Truncate(0); err != nil {
+			return nil, stats, fmt.Errorf("serve: recover: truncating torn header: %w", err)
+		}
+		e, nerr := New(cfg)
+		return e, stats, nerr
+	case err != nil:
+		return nil, stats, fmt.Errorf("serve: recover: %w", err)
+	}
+	// World recipe comes from the header; scheduling and durability knobs
+	// from the caller.
+	cfg.Net, cfg.Nodes, cfg.Seed, cfg.Chars = hcfg.Net, hcfg.Nodes, hcfg.Seed, hcfg.Chars
+	cfg.Policy, cfg.Seeded, cfg.Theta = hcfg.Policy, hcfg.Seeded, hcfg.Theta
+	w, err := buildWorld(cfg)
+	if err != nil {
+		return nil, stats, fmt.Errorf("serve: recover: %w", err)
+	}
+
+	var (
+		truncateAt int64 = -1
+		nextEpoch  uint64
+	)
+scan:
+	for {
+		line, err := s.next()
+		switch {
+		case errors.Is(err, io.EOF):
+			break scan
+		case errors.As(err, &corrupt):
+			// Tolerable only as the very last line: probe for a successor.
+			if _, err := s.next(); !errors.Is(err, io.EOF) {
+				return nil, stats, fmt.Errorf("serve: recover: %w, but the journal continues past it — corruption before the tail is unrecoverable", corrupt)
+			}
+			truncateAt = corrupt.Off
+			break scan
+		case err != nil:
+			return nil, stats, fmt.Errorf("serve: recover: %w", err)
+		}
+		ln := s.Ln()
+		switch line.Kind {
+		case "event":
+			if err := applyEventLine(w, line.Event, stats.Events); err != nil {
+				return nil, stats, fmt.Errorf("serve: recover: line %d: %w", ln, err)
+			}
+			stats.Events++
+		case "epoch":
+			ep := line.Epoch
+			if ep == nil {
+				return nil, stats, fmt.Errorf("serve: recover: line %d: epoch line without payload", ln)
+			}
+			if ep.Events != stats.Events {
+				return nil, stats, fmt.Errorf("serve: recover: line %d: epoch %d captured at %d events, journal has applied %d", ln, ep.ID, ep.Events, stats.Events)
+			}
+			if ep.ID < nextEpoch {
+				return nil, stats, fmt.Errorf("serve: recover: line %d: epoch id %d is not increasing (last was %d)", ln, ep.ID, nextEpoch-1)
+			}
+			nextEpoch = ep.ID + 1
+			stats.Epochs++
+		case "query":
+			stats.Queries++
+		case "header":
+			return nil, stats, fmt.Errorf("serve: recover: line %d: duplicate header", ln)
+		default:
+			return nil, stats, fmt.Errorf("serve: recover: line %d: unknown line kind %q", ln, line.Kind)
+		}
+	}
+	if truncateAt >= 0 {
+		stats.TornBytes = s.Off() - truncateAt
+		if err := f.Truncate(truncateAt); err != nil {
+			return nil, stats, fmt.Errorf("serve: recover: truncating torn tail: %w", err)
+		}
+	}
+
+	// Resume the engine on the journal's seam: counters continue exactly
+	// where the prefix left off, and the recovery epoch is journaled (and
+	// synced) under the next id before anything is served or ingested.
+	e := newEngine(cfg, w)
+	e.applied.Store(stats.Events)
+	e.ingested.Store(stats.Events)
+	e.recovered = stats.Events
+	e.epochs.Store(nextEpoch)
+	if !e.captureAndPublish() {
+		return nil, stats, fmt.Errorf("serve: recover: journaling the recovery epoch: %w", e.journal.lastErr())
+	}
+	go e.run()
+	return e, stats, nil
+}

@@ -1,7 +1,6 @@
 package serve
 
 import (
-	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
@@ -27,37 +26,75 @@ type replayEpoch struct {
 	memo *core.EdgeMemo
 }
 
+// replayHeader reads and validates the journal's first line, which must be
+// an intact header of the supported version, and returns the fully
+// defaulted config it pins. Shared by Replay and Recover.
+func replayHeader(s *journalScanner) (Config, error) {
+	line, err := s.next()
+	if err != nil {
+		return Config{}, fmt.Errorf("reading header: %w", err)
+	}
+	if line.Kind != "header" || line.Header == nil {
+		return Config{}, fmt.Errorf("journal starts with %q, want header", line.Kind)
+	}
+	h := *line.Header
+	if h.Version != journalVersion {
+		return Config{}, fmt.Errorf("unsupported journal version %d (want %d)", h.Version, journalVersion)
+	}
+	policy, err := core.ParsePolicy(h.Policy)
+	if err != nil {
+		return Config{}, err
+	}
+	return Config{
+		Net: h.Net, Nodes: h.Nodes, Seed: h.Seed, Chars: h.Chars,
+		Policy: policy, Seeded: h.Seeded, Theta: h.Theta,
+	}.withDefaults(), nil
+}
+
+// applyEventLine re-applies one journaled event to a world, enforcing the
+// dense-sequence contract. applied is the count of events already applied.
+func applyEventLine(w *world, ev *eventLine, applied uint64) error {
+	if ev == nil {
+		return errors.New("event line without payload")
+	}
+	if ev.Seq != applied+1 {
+		return fmt.Errorf("event seq %d, want %d", ev.Seq, applied+1)
+	}
+	if ev.Type < 0 || ev.Type >= len(w.setup.Universe.Tasks) {
+		return fmt.Errorf("task type %d out of range", ev.Type)
+	}
+	tk := w.setup.Universe.Tasks[ev.Type]
+	switch ev.Op {
+	case "observe":
+		out := core.Outcome{Success: ev.Success, Gain: ev.Gain, Damage: ev.Damage, Cost: ev.Cost}
+		w.pop.Agent(core.AgentID(ev.Trustor)).Store.Observe(core.AgentID(ev.Trustee), tk, out, core.PerfectEnv())
+		w.pop.Agent(core.AgentID(ev.Trustee)).Store.ObserveUsage(core.AgentID(ev.Trustor), ev.Abusive)
+	case "recommend":
+		exp := core.Expectation{S: ev.S, G: ev.G, D: ev.D, C: ev.C}
+		w.pop.Agent(core.AgentID(ev.Trustor)).Store.Seed(core.AgentID(ev.Trustee), tk, exp)
+	default:
+		return fmt.Errorf("unknown event op %q", ev.Op)
+	}
+	return nil
+}
+
 // Replay re-executes a trust-assertion journal and verifies it: the world
 // is rebuilt from the header's recipe, events are re-applied in journal
 // order, each epoch marker re-captures a frozen view, and every query line
 // is re-answered from its recorded epoch and compared bit-for-bit against
-// the journaled TW. Any mismatch — sequence gap, event-count drift at an
-// epoch, unknown epoch id, or a single differing bit — fails with a
-// descriptive error. A nil error is the replay contract: every value the
-// engine ever served is reproducible from the journal alone.
+// the journaled TW. Any mismatch — a CRC-failing or torn line, sequence
+// gap, event-count drift at an epoch, unknown epoch id, or a single
+// differing bit — fails with a descriptive error. A nil error is the replay
+// contract: every value the engine ever served is reproducible from the
+// journal alone. (Replay is strict: it rejects even a torn final line; run
+// Recover first to truncate a crashed journal's tail.)
 func Replay(r io.Reader) (ReplayStats, error) {
 	var stats ReplayStats
-	dec := json.NewDecoder(r)
-
-	var line journalLine
-	if err := dec.Decode(&line); err != nil {
-		return stats, fmt.Errorf("serve: replay: reading header: %w", err)
-	}
-	if line.Kind != "header" || line.Header == nil {
-		return stats, fmt.Errorf("serve: replay: journal starts with %q, want header", line.Kind)
-	}
-	h := *line.Header
-	if h.Version != journalVersion {
-		return stats, fmt.Errorf("serve: replay: unsupported journal version %d (want %d)", h.Version, journalVersion)
-	}
-	policy, err := core.ParsePolicy(h.Policy)
+	s := newJournalScanner(r)
+	cfg, err := replayHeader(s)
 	if err != nil {
 		return stats, fmt.Errorf("serve: replay: %w", err)
 	}
-	cfg := Config{
-		Net: h.Net, Nodes: h.Nodes, Seed: h.Seed, Chars: h.Chars,
-		Policy: policy, Seeded: h.Seeded, Theta: h.Theta,
-	}.withDefaults()
 	w, err := buildWorld(cfg)
 	if err != nil {
 		return stats, fmt.Errorf("serve: replay: %w", err)
@@ -74,39 +111,19 @@ func Replay(r io.Reader) (ReplayStats, error) {
 	}()
 	norm := w.pop.Config().Update.Norm
 	var sr core.SearchResult
-	ln := 1
 	for {
-		ln++
-		line = journalLine{}
-		if err := dec.Decode(&line); err != nil {
+		line, err := s.next()
+		if err != nil {
 			if errors.Is(err, io.EOF) {
 				return stats, nil
 			}
-			return stats, fmt.Errorf("serve: replay: line %d: %w", ln, err)
+			return stats, fmt.Errorf("serve: replay: %w", err)
 		}
+		ln := s.Ln()
 		switch line.Kind {
 		case "event":
-			ev := line.Event
-			if ev == nil {
-				return stats, fmt.Errorf("serve: replay: line %d: event line without payload", ln)
-			}
-			if ev.Seq != stats.Events+1 {
-				return stats, fmt.Errorf("serve: replay: line %d: event seq %d, want %d", ln, ev.Seq, stats.Events+1)
-			}
-			if ev.Type < 0 || ev.Type >= len(w.setup.Universe.Tasks) {
-				return stats, fmt.Errorf("serve: replay: line %d: task type %d out of range", ln, ev.Type)
-			}
-			tk := w.setup.Universe.Tasks[ev.Type]
-			switch ev.Op {
-			case "observe":
-				out := core.Outcome{Success: ev.Success, Gain: ev.Gain, Damage: ev.Damage, Cost: ev.Cost}
-				w.pop.Agent(core.AgentID(ev.Trustor)).Store.Observe(core.AgentID(ev.Trustee), tk, out, core.PerfectEnv())
-				w.pop.Agent(core.AgentID(ev.Trustee)).Store.ObserveUsage(core.AgentID(ev.Trustor), ev.Abusive)
-			case "recommend":
-				exp := core.Expectation{S: ev.S, G: ev.G, D: ev.D, C: ev.C}
-				w.pop.Agent(core.AgentID(ev.Trustor)).Store.Seed(core.AgentID(ev.Trustee), tk, exp)
-			default:
-				return stats, fmt.Errorf("serve: replay: line %d: unknown event op %q", ln, ev.Op)
+			if err := applyEventLine(w, line.Event, stats.Events); err != nil {
+				return stats, fmt.Errorf("serve: replay: line %d: %w", ln, err)
 			}
 			stats.Events++
 		case "epoch":

@@ -1,0 +1,70 @@
+package serve
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// corruptError marks a physical journal line that cannot be trusted: it is
+// missing its trailing newline (a torn tail after a crash), is not a valid
+// CRC envelope, or fails its checksum. Off is the byte offset where the
+// damaged line starts — the truncation point the torn-tail rule uses.
+type corruptError struct {
+	Ln  int   // 1-based physical line number
+	Off int64 // byte offset of the start of the damaged line
+	Err error
+}
+
+func (e *corruptError) Error() string {
+	return fmt.Sprintf("line %d (byte offset %d) is corrupt: %v", e.Ln, e.Off, e.Err)
+}
+
+func (e *corruptError) Unwrap() error { return e.Err }
+
+// journalScanner reads physical journal lines, verifying each envelope and
+// CRC, and classifies damage as *corruptError so Recover can apply the
+// torn-tail rule (tolerate exactly one damaged final line) while Replay
+// treats any damage as fatal.
+type journalScanner struct {
+	r   *bufio.Reader
+	ln  int   // lines returned so far
+	off int64 // byte offset of the next unread line
+}
+
+func newJournalScanner(r io.Reader) *journalScanner {
+	return &journalScanner{r: bufio.NewReader(r)}
+}
+
+// Ln reports the 1-based line number of the most recently returned line.
+func (s *journalScanner) Ln() int { return s.ln }
+
+// Off reports the byte offset of the first unconsumed line — after a clean
+// scan, the journal's verified length.
+func (s *journalScanner) Off() int64 { return s.off }
+
+// next returns the next verified journal line, io.EOF at a clean end, or a
+// *corruptError for a damaged line. After a corruptError the scanner is
+// positioned past the damaged line, so the caller can probe whether more
+// lines follow (damage mid-journal) or not (a tolerable torn tail).
+func (s *journalScanner) next() (journalLine, error) {
+	raw, err := s.r.ReadBytes('\n')
+	start := s.off
+	s.off += int64(len(raw))
+	if err == io.EOF {
+		if len(raw) == 0 {
+			return journalLine{}, io.EOF
+		}
+		s.ln++
+		return journalLine{}, &corruptError{Ln: s.ln, Off: start, Err: fmt.Errorf("torn line: no trailing newline")}
+	}
+	if err != nil {
+		return journalLine{}, err
+	}
+	s.ln++
+	line, err := decodeJournalLine(raw[:len(raw)-1])
+	if err != nil {
+		return journalLine{}, &corruptError{Ln: s.ln, Off: start, Err: err}
+	}
+	return line, nil
+}

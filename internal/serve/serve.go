@@ -8,9 +8,18 @@
 // epoch on a count- or time-triggered cadence, and appends every ingested
 // event and served value to an append-only trust-assertion journal that
 // Replay reproduces byte-for-byte.
+//
+// The serving seam is crash-safe: Ingest acknowledges an event only after
+// the group-commit fsync covering its journal line returns (FsyncBatch), so
+// an acknowledged event is on disk; Recover rebuilds the engine from a
+// journal prefix after a crash, tolerating one torn final line; a full
+// queue sheds with ErrOverloaded instead of blocking forever; and a failing
+// disk flips the engine into a degraded mode that keeps answering queries
+// from the last good epoch.
 package serve
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -32,7 +41,8 @@ import (
 // Seed, Chars, Policy, Seeded, Theta) are recorded in the journal header —
 // they fully determine the initial state, so Replay rebuilds the identical
 // world from the header alone. The operational fields (cadence, queue and
-// batch sizes, workers) affect only scheduling, never values.
+// batch sizes, workers, fsync mode) affect only scheduling and durability,
+// never values.
 type Config struct {
 	// Net names a calibrated socialgen profile ("facebook", "gplus",
 	// "twitter"); Nodes > 0 instead selects the canonical benchmark profile
@@ -58,16 +68,21 @@ type Config struct {
 	EpochEvery    int
 	EpochInterval time.Duration
 	// BatchSize bounds how many queued events the writer applies per wakeup
-	// between capture checks (default 128). QueueSize is the ingest buffer
-	// (default 1024); Ingest blocks when it is full.
+	// between capture checks (default 128); one fsync acknowledges the whole
+	// batch. QueueSize is the ingest buffer (default 1024); IngestCtx sheds
+	// with ErrOverloaded when it stays full past the context deadline.
 	BatchSize int
 	QueueSize int
 	// Workers bounds capture/memo parallelism (default GOMAXPROCS). Results
 	// are bit-identical at every worker count.
 	Workers int
-	// Journal, when non-nil, receives the trust-assertion journal. If it is
-	// buffered and exposes Flush() error, Close flushes it.
+	// Journal, when non-nil, receives the trust-assertion journal. When it
+	// implements Sync() error (an *os.File, a faultfs.File), Fsync governs
+	// when the journal syncs it; otherwise sync degrades to a flush.
 	Journal io.Writer
+	// Fsync selects the journal durability mode (default FsyncBatch: one
+	// sync per applied batch and per epoch line).
+	Fsync FsyncMode
 }
 
 // withDefaults fills the zero values.
@@ -94,9 +109,9 @@ func (c Config) withDefaults() Config {
 }
 
 // world is the deterministic state a Config builds: the population, its
-// task universe, and a searcher over it. Both the engine and Replay
-// construct worlds through this one path, which is what makes the replay
-// contract hold.
+// task universe, and a searcher over it. The engine, Replay, and Recover
+// all construct worlds through this one path, which is what makes the
+// replay and recovery contracts hold.
 type world struct {
 	pop      *sim.Population
 	setup    sim.TransitivitySetup
@@ -172,6 +187,25 @@ type TrustResult struct {
 // ErrClosed is returned by Ingest and Trust after Close.
 var ErrClosed = errors.New("serve: engine closed")
 
+// ErrOverloaded is returned by IngestCtx when the ingest queue stays full
+// past the context's deadline — the shed policy. Callers map it to HTTP 429
+// with a Retry-After.
+var ErrOverloaded = errors.New("serve: ingest queue full")
+
+// ErrDegraded is returned by Ingest once a journal write or sync has failed:
+// the engine stops accepting events (their durability could not be
+// promised) but keeps answering queries from the last good epoch. The
+// condition is terminal for the process — restart with Recover.
+var ErrDegraded = errors.New("serve: journal failed; serving degraded from last good epoch")
+
+// queued is one in-flight ingest: the event plus the channel its durable
+// acknowledgement travels back on (buffered, so the writer never blocks on
+// a departed waiter).
+type queued struct {
+	ev   Event
+	done chan error
+}
+
 // epochPayload rides each published epoch through the EpochHandle: the
 // epoch's id and its Required memo, released with the view by the handle's
 // refcount — one count covers view and memo, so a query straddling a swap
@@ -194,7 +228,7 @@ type Engine struct {
 	pool  *core.ArenaPool
 
 	handle sim.EpochHandle
-	queue  chan Event
+	queue  chan queued
 	stop   chan struct{}
 	done   chan struct{}
 	closed atomic.Bool
@@ -202,11 +236,33 @@ type Engine struct {
 	journal *journal
 	results sync.Pool // *core.SearchResult
 
-	ingested atomic.Uint64
-	applied  atomic.Uint64
-	queries  atomic.Uint64
-	epochs   atomic.Uint64 // published epochs; ids are epochs-1
-	lat      latencyHist
+	ingested    atomic.Uint64
+	applied     atomic.Uint64
+	queries     atomic.Uint64
+	epochs      atomic.Uint64 // published epochs; ids are epochs-1
+	shed        atomic.Uint64
+	recovered   uint64 // events re-applied by Recover, fixed at build time
+	degraded    atomic.Bool
+	lastEpochNs atomic.Int64 // wall-clock ns of the last publish (staleness)
+	lat         latencyHist  // query latency
+	fsyncLat    latencyHist  // journal fsync latency
+}
+
+// newEngine assembles an Engine around an already-built world without
+// writing anything or starting the writer — New and Recover share it and
+// differ only in how they seed the journal and the counters.
+func newEngine(cfg Config, w *world) *Engine {
+	e := &Engine{
+		cfg:     cfg,
+		world:   w,
+		pool:    core.NewArenaPool(),
+		queue:   make(chan queued, cfg.QueueSize),
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
+		results: sync.Pool{New: func() any { return new(core.SearchResult) }},
+	}
+	e.journal = newJournal(cfg.Journal, cfg.Fsync, &e.fsyncLat)
+	return e
 }
 
 // New builds the world, writes the journal header, publishes epoch 0, and
@@ -217,22 +273,15 @@ func New(cfg Config) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
-	e := &Engine{
-		cfg:     cfg,
-		world:   w,
-		pool:    core.NewArenaPool(),
-		queue:   make(chan Event, cfg.QueueSize),
-		stop:    make(chan struct{}),
-		done:    make(chan struct{}),
-		journal: newJournal(cfg.Journal),
-		results: sync.Pool{New: func() any { return new(core.SearchResult) }},
-	}
+	e := newEngine(cfg, w)
 	e.journal.header(headerLine{
 		Version: journalVersion,
 		Net:     cfg.Net, Nodes: cfg.Nodes, Seed: cfg.Seed, Chars: cfg.Chars,
 		Policy: cfg.Policy.String(), Seeded: cfg.Seeded, Theta: cfg.Theta,
 	})
-	e.captureAndPublish()
+	if !e.captureAndPublish() {
+		return nil, e.journal.lastErr()
+	}
 	go e.run()
 	return e, nil
 }
@@ -251,13 +300,26 @@ func (e *Engine) TaskTypes() []task.Task { return e.world.setup.Universe.Tasks }
 
 // Stats snapshots the engine's counters.
 func (e *Engine) Stats() Stats {
+	var staleness int64
+	if last := e.lastEpochNs.Load(); last > 0 {
+		staleness = (time.Now().UnixNano() - last) / int64(time.Millisecond)
+		if staleness < 0 {
+			staleness = 0
+		}
+	}
 	return Stats{
-		Ingested:   e.ingested.Load(),
-		Applied:    e.applied.Load(),
-		Queries:    e.queries.Load(),
-		Epochs:     e.epochs.Load(),
-		QueryP50Ns: e.lat.quantile(0.50),
-		QueryP99Ns: e.lat.quantile(0.99),
+		Ingested:         e.ingested.Load(),
+		Applied:          e.applied.Load(),
+		Queries:          e.queries.Load(),
+		Epochs:           e.epochs.Load(),
+		QueryP50Ns:       e.lat.quantile(0.50),
+		QueryP99Ns:       e.lat.quantile(0.99),
+		QueueDepth:       len(e.queue),
+		ShedTotal:        e.shed.Load(),
+		FsyncP99Ns:       e.fsyncLat.quantile(0.99),
+		RecoveredEvents:  e.recovered,
+		EpochStalenessMs: staleness,
+		Degraded:         e.degraded.Load(),
 	}
 }
 
@@ -295,24 +357,58 @@ func (e *Engine) validate(ev Event) error {
 	return nil
 }
 
-// Ingest validates and enqueues one event for the writer goroutine. It
-// blocks while the queue is full and returns ErrClosed once the engine is
-// closing. Acceptance means the event will be applied and journaled unless
-// Close races the enqueue (a still-queued event at shutdown is dropped
-// before it is journaled, never after).
-func (e *Engine) Ingest(ev Event) error {
+// Ingest validates, enqueues, and durably acknowledges one event: it
+// returns nil only after the writer goroutine has applied the event and the
+// group-commit sync covering its journal line returned. It blocks without
+// bound while the queue is full; use IngestCtx to shed under overload.
+func (e *Engine) Ingest(ev Event) error { return e.IngestCtx(context.Background(), ev) }
+
+// IngestCtx is Ingest with backpressure: when the queue is full it waits
+// only until ctx is done, then sheds the event with ErrOverloaded (counted
+// in Stats.ShedTotal) instead of blocking the caller forever. A nil return
+// is a durability promise — the event is applied, journaled, and (in
+// FsyncBatch/FsyncAlways modes on a syncable journal) fsynced, so a crash
+// cannot lose it. Any error return means the event was not acknowledged;
+// it may still reach the journal if it was already queued when the engine
+// closed, but the caller must assume it did not.
+func (e *Engine) IngestCtx(ctx context.Context, ev Event) error {
 	if err := e.validate(ev); err != nil {
 		return err
 	}
 	if e.closed.Load() {
 		return ErrClosed
 	}
+	if e.degraded.Load() {
+		return ErrDegraded
+	}
+	q := queued{ev: ev, done: make(chan error, 1)}
 	select {
-	case e.queue <- ev:
-		e.ingested.Add(1)
-		return nil
-	case <-e.stop:
-		return ErrClosed
+	case e.queue <- q:
+	default:
+		// Queue full: wait bounded by the caller's deadline, then shed.
+		select {
+		case e.queue <- q:
+		case <-ctx.Done():
+			e.shed.Add(1)
+			return ErrOverloaded
+		case <-e.stop:
+			return ErrClosed
+		}
+	}
+	e.ingested.Add(1)
+	select {
+	case err := <-q.done:
+		return err
+	case <-e.done:
+		// The writer exited. Its shutdown drain acknowledges everything it
+		// found queued, so check for a buffered ack before giving up — an
+		// event the drain missed is unacknowledged, never half-promised.
+		select {
+		case err := <-q.done:
+			return err
+		default:
+			return ErrClosed
+		}
 	}
 }
 
@@ -320,7 +416,9 @@ func (e *Engine) Ingest(ev Event) error {
 // direct experience of the trustor when it exists, otherwise the policy's
 // transitive search over the frozen view. The whole answer is computed
 // under one epoch reference — no locks, no store access — and journaled
-// with the epoch id and exact result bits.
+// with the epoch id and exact result bits. In degraded mode the current
+// epoch is the last one the journal durably recorded; Stats exposes its
+// staleness.
 func (e *Engine) Trust(trustor, trustee core.AgentID, typeIdx int) (TrustResult, error) {
 	n := core.AgentID(e.NumAgents())
 	if trustor < 0 || trustor >= n || trustee < 0 || trustee >= n {
@@ -368,13 +466,15 @@ func answer(s *core.Searcher, view *core.RoundView, memo *core.EdgeMemo, sr *cor
 	return TrustResult{}
 }
 
-// Close stops ingestion, drains the queue, retires the current epoch, and
-// flushes the journal. Idempotent; concurrent Trust calls that already hold
-// an epoch reference finish normally.
+// Close stops ingestion, drains and acknowledges the queue, retires the
+// current epoch, and syncs the journal. A journal that lost data surfaces
+// here (with the failing event seq), so the SIGTERM drain path can turn a
+// partial write into a non-zero exit. Idempotent; concurrent Trust calls
+// that already hold an epoch reference finish normally.
 func (e *Engine) Close() error {
 	if e.closed.Swap(true) {
 		<-e.done
-		return nil
+		return e.journal.lastErr()
 	}
 	close(e.stop)
 	<-e.done
@@ -382,10 +482,11 @@ func (e *Engine) Close() error {
 }
 
 // run is the writer goroutine: the only store mutator. It applies queued
-// events in batches and re-captures the epoch on the configured cadence.
-// Serializing writes here is what upholds the capture contract — the
-// parallel capture panics if stores mutate mid-pass, so capture and apply
-// must never overlap.
+// events in batches, syncs the journal once per batch (the group commit
+// that acknowledges the whole batch), and re-captures the epoch on the
+// configured cadence. Serializing writes here is what upholds the capture
+// contract — the parallel capture panics if stores mutate mid-pass, so
+// capture and apply must never overlap.
 func (e *Engine) run() {
 	defer close(e.done)
 	var tick <-chan time.Time
@@ -394,11 +495,12 @@ func (e *Engine) run() {
 		defer t.Stop()
 		tick = t.C
 	}
+	batch := make([]queued, 0, e.cfg.BatchSize)
 	since := 0
 	for {
 		select {
-		case ev := <-e.queue:
-			since += e.applyBatch(ev)
+		case q := <-e.queue:
+			since += e.applyBatch(q, &batch)
 			if since >= e.cfg.EpochEvery {
 				e.captureAndPublish()
 				since = 0
@@ -409,12 +511,15 @@ func (e *Engine) run() {
 				since = 0
 			}
 		case <-e.stop:
-			// Drain what is already queued so accepted events are applied
-			// and journaled, publish them, then retire.
+			// Drain what is already queued so every waiter is acknowledged
+			// one way or the other, publish, then retire. An event enqueued
+			// after this drain's final empty check is never acknowledged
+			// (its waiter sees the done channel close), so the drain
+			// contract holds: acknowledged implies journaled.
 			for {
 				select {
-				case ev := <-e.queue:
-					since += e.applyBatch(ev)
+				case q := <-e.queue:
+					since += e.applyBatch(q, &batch)
 					continue
 				default:
 				}
@@ -429,21 +534,49 @@ func (e *Engine) run() {
 	}
 }
 
-// applyBatch applies first plus up to BatchSize-1 more already-queued
-// events, returning how many it applied.
-func (e *Engine) applyBatch(first Event) int {
-	e.apply(first)
-	n := 1
-	for n < e.cfg.BatchSize {
+// applyBatch collects first plus up to BatchSize-1 more already-queued
+// events, applies and journals them, group-commits, and acknowledges every
+// waiter with the commit result. In degraded mode nothing is applied — the
+// stores must not drift further from the journal — and every waiter is
+// refused with ErrDegraded. Returns how many events were applied.
+func (e *Engine) applyBatch(first queued, scratch *[]queued) int {
+	batch := append((*scratch)[:0], first)
+	for len(batch) < e.cfg.BatchSize {
 		select {
-		case ev := <-e.queue:
-			e.apply(ev)
-			n++
+		case q := <-e.queue:
+			batch = append(batch, q)
 		default:
-			return n
+			goto collected
 		}
 	}
-	return n
+collected:
+	*scratch = batch[:0]
+	if e.degraded.Load() {
+		for _, q := range batch {
+			q.done <- ErrDegraded
+		}
+		return 0
+	}
+	for _, q := range batch {
+		e.apply(q.ev)
+	}
+	ack := e.journal.syncNow()
+	if ack != nil {
+		// The events are in the stores but their durability could not be
+		// promised: refuse the acks, stop accepting events, and keep
+		// serving queries from the last good epoch. The applied-but-
+		// unpublished events never reach a captured epoch, so queries
+		// cannot observe state the journal does not durably hold.
+		e.degraded.Store(true)
+		ack = fmt.Errorf("%w: %w", ErrDegraded, ack)
+	}
+	for _, q := range batch {
+		q.done <- ack
+	}
+	if ack != nil {
+		return 0
+	}
+	return len(batch)
 }
 
 // apply mutates the stores with one event and journals it, in apply order.
@@ -470,15 +603,28 @@ func (e *Engine) apply(ev Event) {
 }
 
 // captureAndPublish freezes the stores into a new epoch — round view plus a
-// Required memo — journals the epoch marker, and atomically swaps it in.
-// The journal line precedes the publish, so no query can reference an epoch
-// id the journal has not yet announced.
-func (e *Engine) captureAndPublish() {
+// Required memo — journals and durably syncs the epoch marker, and
+// atomically swaps it in. The synced journal line precedes the publish, so
+// no query can ever reference an epoch id the disk has not seen; if the
+// sync fails the epoch is discarded, the engine degrades, and queries keep
+// answering from the previous epoch. Reports whether the epoch published.
+func (e *Engine) captureAndPublish() bool {
+	if e.degraded.Load() {
+		return false
+	}
 	id := e.epochs.Load()
 	view := e.world.pop.RoundView(e.cfg.Workers, e.pool)
 	memo := core.NewEdgeMemoPooled(view.TrustView, e.world.pop.Config().Update.Norm, e.cfg.Workers, e.pool)
 	memo.Require(e.cfg.Policy, e.TaskTypes())
 	e.journal.epoch(epochLine{ID: id, Events: e.applied.Load()})
+	if err := e.journal.syncNow(); err != nil {
+		memo.Release()
+		view.Release()
+		e.degraded.Store(true)
+		return false
+	}
 	e.handle.PublishWith(view, &epochPayload{id: id, memo: memo})
 	e.epochs.Store(id + 1)
+	e.lastEpochNs.Store(time.Now().UnixNano())
+	return true
 }

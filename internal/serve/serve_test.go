@@ -2,7 +2,6 @@ package serve
 
 import (
 	"bytes"
-	"encoding/json"
 	"math/rand/v2"
 	"strings"
 	"sync"
@@ -121,12 +120,14 @@ func TestReplayDetectsTampering(t *testing.T) {
 	}
 	lines := strings.Split(strings.TrimSuffix(buf.String(), "\n"), "\n")
 	for i, ln := range lines {
-		var l journalLine
-		if err := json.Unmarshal([]byte(ln), &l); err != nil {
+		l, err := decodeJournalLine([]byte(ln))
+		if err != nil {
 			t.Fatal(err)
 		}
 		if l.Kind == "query" {
-			// Flip the low bit of the recorded value.
+			// Flip the low bit of the recorded value, re-wrapping with a
+			// fresh CRC so the value divergence — not the checksum — is
+			// what replay must catch.
 			b := []byte(l.Query.TWBits)
 			if b[15] == '0' {
 				b[15] = '1'
@@ -134,11 +135,11 @@ func TestReplayDetectsTampering(t *testing.T) {
 				b[15] = '0'
 			}
 			l.Query.TWBits = string(b)
-			mod, err := json.Marshal(l)
+			mod, err := encodeJournalLine(l)
 			if err != nil {
 				t.Fatal(err)
 			}
-			lines[i] = string(mod)
+			lines[i] = strings.TrimSuffix(string(mod), "\n")
 			tampered = true
 			break
 		}
@@ -148,6 +149,43 @@ func TestReplayDetectsTampering(t *testing.T) {
 	}
 	if _, err := Replay(strings.NewReader(strings.Join(lines, "\n") + "\n")); err == nil {
 		t.Fatal("replay accepted a tampered journal")
+	}
+}
+
+// TestReplayDetectsBitRot flips one raw byte inside a journal line without
+// fixing up the CRC: replay must reject the line on its checksum, naming
+// the damaged line.
+func TestReplayDetectsBitRot(t *testing.T) {
+	var buf bytes.Buffer
+	e, err := New(Config{Net: "twitter", Seed: 7, Seeded: true, EpochEvery: 4, Journal: &buf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewPCG(3, 4))
+	for i := 0; i < 12; i++ {
+		if err := e.Ingest(randomEvent(e, r)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	// Flip a byte in the middle of the second line (inside the payload, so
+	// the envelope still parses but the CRC cannot match).
+	firstNL := bytes.IndexByte(raw, '\n')
+	target := firstNL + (bytes.IndexByte(raw[firstNL+1:], '\n') / 2)
+	if raw[target] == '1' {
+		raw[target] = '2'
+	} else {
+		raw[target] = '1'
+	}
+	_, err = Replay(bytes.NewReader(raw))
+	if err == nil {
+		t.Fatal("replay accepted a bit-rotted journal")
+	}
+	if !strings.Contains(err.Error(), "corrupt") {
+		t.Fatalf("error %v does not report corruption", err)
 	}
 }
 

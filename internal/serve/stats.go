@@ -64,4 +64,23 @@ type Stats struct {
 	// (exponential buckets: within 2x).
 	QueryP50Ns int64 `json:"query_p50_ns"`
 	QueryP99Ns int64 `json:"query_p99_ns"`
+	// QueueDepth is the instantaneous ingest-queue occupancy; ShedTotal
+	// counts events IngestCtx refused with ErrOverloaded because the queue
+	// stayed full past the caller's deadline.
+	QueueDepth int    `json:"queue_depth"`
+	ShedTotal  uint64 `json:"shed_total"`
+	// FsyncP99Ns bounds the journal fsync latency (group commits plus epoch
+	// and always-mode syncs; exponential buckets: within 2x).
+	FsyncP99Ns int64 `json:"fsync_p99_ns"`
+	// RecoveredEvents is how many journaled events Recover re-applied when
+	// this engine resumed from a crashed journal (0 for a fresh engine).
+	RecoveredEvents uint64 `json:"recovered_events"`
+	// EpochStalenessMs is the wall-clock age of the served epoch. It grows
+	// without bound in degraded mode, where the engine keeps answering from
+	// the last epoch the journal durably recorded.
+	EpochStalenessMs int64 `json:"epoch_staleness_ms"`
+	// Degraded reports that a journal write or fsync failed: ingest is
+	// refused with ErrDegraded, queries still answer from the last good
+	// epoch, and the process should be restarted with -resume.
+	Degraded bool `json:"degraded"`
 }
