@@ -7,8 +7,8 @@
 // Usage:
 //
 //	siot-bench [-seed N] [-exp table1,fig7,...|all] [-csv DIR] [-charts] [-parallel P]
-//	siot-bench -json BENCH.json [-label NAME]
-//	siot-bench -compare BENCH.json [-label NAME]
+//	siot-bench -json BENCH.json [-label NAME] [-scale1m]
+//	siot-bench -compare BENCH.json [-label NAME] [-scale1m]
 //
 // With -json, siot-bench runs the machine-readable perf suite instead of
 // the experiments: it times the engine's standard workloads (delegation
@@ -18,6 +18,9 @@
 // setup, a single warm search, and the serve engine's pure-query and mixed
 // read/write workloads with p50/p99 query-latency counters) and appends an
 // entry to the JSON history file, tracking the perf trajectory across PRs.
+// Every workload also records its peak heap footprint (heap_peak_bytes,
+// sampled from runtime.ReadMemStats); -scale1m adds the million-node
+// sweep-1m workload (1M nodes / 6M edges: populate, seed, sharded sweep).
 //
 // With -compare, the suite additionally diffs the fresh measurements
 // against the file's previous last entry and exits non-zero when any
@@ -53,6 +56,7 @@ func main() {
 	label := flag.String("label", "local", "label recorded with the -json perf entry")
 	note := flag.String("note", "", "context note recorded with the -json perf entry (e.g. a deliberate workload change)")
 	compare := flag.String("compare", "", "run the perf suite against this JSON history file, appending the new entry and exiting non-zero on any >15% ns/op regression vs the previous last entry (implies -json)")
+	scale1m := flag.Bool("scale1m", false, "include the million-node sweep-1m workload in the -json/-compare perf suite (several minutes, ~6 GB of heap)")
 	flag.Parse()
 
 	if err := cliutil.ValidateParallel(*parallel); err != nil {
@@ -66,10 +70,13 @@ func main() {
 		if *compare != "" {
 			path, gate = *compare, true
 		}
-		if err := runPerfSuite(path, *label, *note, gate); err != nil {
+		if err := runPerfSuite(path, *label, *note, gate, *scale1m); err != nil {
 			cliutil.Runtime("siot-bench", err)
 		}
 		return
+	}
+	if *scale1m {
+		cliutil.Usage("siot-bench", errors.New("-scale1m only applies to the -json/-compare perf suite"))
 	}
 
 	var names []string

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"sync"
 	"testing"
 	"time"
 
@@ -35,8 +36,13 @@ type perfResult struct {
 	// environment cannot exhibit parallel speedup (GOMAXPROCS=1): a ~1.0x
 	// reading there is an artifact of the worker pool's overhead, not a
 	// regression signal.
-	SpeedupNote string             `json:"speedup_note,omitempty"`
-	Counters    map[string]float64 `json:"counters,omitempty"`
+	SpeedupNote string `json:"speedup_note,omitempty"`
+	// HeapPeakBytes is the largest live heap (runtime.MemStats.HeapAlloc)
+	// a background sampler observed across the workload, setup included —
+	// the footprint trajectory of the memory-bound workloads. Sampled at
+	// ~50 ms, so sub-sample spikes can slip through; treat it as a floor.
+	HeapPeakBytes uint64             `json:"heap_peak_bytes,omitempty"`
+	Counters      map[string]float64 `json:"counters,omitempty"`
 }
 
 // perfEntry is one suite run (one PR / one CI invocation). GOMAXPROCS and
@@ -61,14 +67,70 @@ type perfFile struct {
 	Entries []perfEntry `json:"entries"`
 }
 
-// timed converts a testing.Benchmark result.
-func timed(name string, r testing.BenchmarkResult) perfResult {
+// timed converts a testing.Benchmark result, stamping the heap peak the
+// suite's sampler observed across the workload.
+func timed(name string, r testing.BenchmarkResult, heapPeak uint64) perfResult {
 	return perfResult{
-		Name:        name,
-		NsPerOp:     float64(r.NsPerOp()),
-		BytesPerOp:  r.AllocedBytesPerOp(),
-		AllocsPerOp: r.AllocsPerOp(),
+		Name:          name,
+		NsPerOp:       float64(r.NsPerOp()),
+		BytesPerOp:    r.AllocedBytesPerOp(),
+		AllocsPerOp:   r.AllocsPerOp(),
+		HeapPeakBytes: heapPeak,
 	}
+}
+
+// heapSampler polls runtime.ReadMemStats in the background, tracking the
+// largest HeapAlloc since the last Peak call. One sampler serves the whole
+// suite: each workload's window runs from the previous Peak() to the next.
+type heapSampler struct {
+	mu   sync.Mutex
+	peak uint64
+	stop chan struct{}
+	done chan struct{}
+}
+
+func startHeapSampler() *heapSampler {
+	s := &heapSampler{stop: make(chan struct{}), done: make(chan struct{})}
+	go func() {
+		defer close(s.done)
+		ticker := time.NewTicker(50 * time.Millisecond)
+		defer ticker.Stop()
+		for {
+			s.sample()
+			select {
+			case <-s.stop:
+				return
+			case <-ticker.C:
+			}
+		}
+	}()
+	return s
+}
+
+func (s *heapSampler) sample() {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	s.mu.Lock()
+	if ms.HeapAlloc > s.peak {
+		s.peak = ms.HeapAlloc
+	}
+	s.mu.Unlock()
+}
+
+// Peak takes one final sample, returns the peak observed since the previous
+// Peak call, and resets the window.
+func (s *heapSampler) Peak() uint64 {
+	s.sample()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p := s.peak
+	s.peak = 0
+	return p
+}
+
+func (s *heapSampler) Stop() {
+	close(s.stop)
+	<-s.done
 }
 
 // benchRoundsWorkload times one full delegation round (mutuality +
@@ -322,13 +384,35 @@ func benchServeIngestFsyncWorkload(nodes int) (testing.BenchmarkResult, serve.St
 	return res, stats, err
 }
 
+// benchSweep1MWorkload times the full million-node pipeline per op: the
+// sharded population build, the bulk experience-seeding pass, and one
+// frozen-epoch aggressive transitivity sweep on the streaming sharded path
+// (400k trustors through bounded per-shard scratch). The 1M-node / 6M-edge
+// network generates once, outside the timer; the per-op rebuild is what the
+// scale milestone budgets (populate+seed+sweep), so it stays inside.
+func benchSweep1MWorkload() (testing.BenchmarkResult, sim.TransitivityStats) {
+	net := socialgen.Generate(benchnet.Net1M(), benchnet.Seed)
+	var st sim.TransitivityStats
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			p, setup := benchnet.Populate(net)
+			eng := &sim.Engine{Pop: p, Parallelism: 0, Label: "perf"}
+			st = eng.TransitivityRun(setup, core.PolicyAggressive, benchnet.Seed)
+		}
+	})
+	return res, st
+}
+
 // runPerfSuite executes the suite and appends the entry to path (creating
 // the file when absent). With compare set, the fresh measurements are also
 // diffed against the file's previous last entry and any >15% ns/op
 // regression fails the run — unless the baseline was recorded on a
 // differently sized machine, in which case the diff is reported but not
 // enforced (timings across machines are not comparable; see perfEntry).
-func runPerfSuite(path, label, note string, compare bool) error {
+// With scale1m set, the million-node sweep-1m workload joins the suite
+// (several minutes and ~6 GB of heap; gated so the default run stays light).
+func runPerfSuite(path, label, note string, compare, scale1m bool) error {
 	var out perfFile
 	if data, err := os.ReadFile(path); err == nil {
 		if err := json.Unmarshal(data, &out); err != nil {
@@ -347,8 +431,11 @@ func runPerfSuite(path, label, note string, compare bool) error {
 		NumCPU:     runtime.NumCPU(),
 	}
 
+	sampler := startHeapSampler()
+	defer sampler.Stop()
+
 	serial, counters := benchRoundsWorkload(1000, 1)
-	r := timed("rounds-1k-serial", serial)
+	r := timed("rounds-1k-serial", serial, sampler.Peak())
 	r.Counters = map[string]float64{
 		"requests":  float64(counters.Requests),
 		"successes": float64(counters.Successes),
@@ -356,7 +443,7 @@ func runPerfSuite(path, label, note string, compare bool) error {
 	entry.Benchmarks = append(entry.Benchmarks, r)
 
 	parallel, _ := benchRoundsWorkload(1000, 4)
-	r = timed("rounds-1k-parallel4", parallel)
+	r = timed("rounds-1k-parallel4", parallel, sampler.Peak())
 	r.SpeedupVsSerial = float64(serial.NsPerOp()) / float64(parallel.NsPerOp())
 	if entry.GoMaxProcs == 1 {
 		r.SpeedupNote = "measured at GOMAXPROCS=1; pool overhead only, not a regression signal"
@@ -364,7 +451,7 @@ func runPerfSuite(path, label, note string, compare bool) error {
 	entry.Benchmarks = append(entry.Benchmarks, r)
 
 	transit, st := benchTransitivityWorkload(1000, 1)
-	r = timed("transitivity-1k-serial", transit)
+	r = timed("transitivity-1k-serial", transit, sampler.Peak())
 	r.Counters = map[string]float64{
 		"requests":           float64(st.Requests),
 		"potential_trustees": float64(st.PotentialTrustees),
@@ -372,7 +459,7 @@ func runPerfSuite(path, label, note string, compare bool) error {
 	entry.Benchmarks = append(entry.Benchmarks, r)
 
 	transit10k, st10 := benchTransitivityWorkload(10000, 1)
-	r = timed("transitivity-10k-serial", transit10k)
+	r = timed("transitivity-10k-serial", transit10k, sampler.Peak())
 	r.Counters = map[string]float64{
 		"requests":           float64(st10.Requests),
 		"potential_trustees": float64(st10.PotentialTrustees),
@@ -380,13 +467,13 @@ func runPerfSuite(path, label, note string, compare bool) error {
 	entry.Benchmarks = append(entry.Benchmarks, r)
 
 	capture := benchCaptureWorkload(10000, 1)
-	entry.Benchmarks = append(entry.Benchmarks, timed("capture-10k-serial", capture))
+	entry.Benchmarks = append(entry.Benchmarks, timed("capture-10k-serial", capture, sampler.Peak()))
 
 	seedSerial := benchSeedWorkload(10000, 1)
-	entry.Benchmarks = append(entry.Benchmarks, timed("seed-10k-serial", seedSerial))
+	entry.Benchmarks = append(entry.Benchmarks, timed("seed-10k-serial", seedSerial, sampler.Peak()))
 
 	seedParallel := benchSeedWorkload(10000, 4)
-	r = timed("seed-10k-parallel4", seedParallel)
+	r = timed("seed-10k-parallel4", seedParallel, sampler.Peak())
 	r.SpeedupVsSerial = float64(seedSerial.NsPerOp()) / float64(seedParallel.NsPerOp())
 	if entry.GoMaxProcs == 1 {
 		r.SpeedupNote = "measured at GOMAXPROCS=1; pool overhead only, not a regression signal"
@@ -394,10 +481,10 @@ func runPerfSuite(path, label, note string, compare bool) error {
 	entry.Benchmarks = append(entry.Benchmarks, r)
 
 	setup100k := benchSetupWorkload(benchnet.Net100k())
-	entry.Benchmarks = append(entry.Benchmarks, timed("setup-100k", setup100k))
+	entry.Benchmarks = append(entry.Benchmarks, timed("setup-100k", setup100k, sampler.Peak()))
 
 	transit100k, st100 := benchTransitivity100kWorkload(0)
-	r = timed("transitivity-100k", transit100k)
+	r = timed("transitivity-100k", transit100k, sampler.Peak())
 	r.Counters = map[string]float64{
 		"requests":           float64(st100.Requests),
 		"potential_trustees": float64(st100.PotentialTrustees),
@@ -405,7 +492,7 @@ func runPerfSuite(path, label, note string, compare bool) error {
 	entry.Benchmarks = append(entry.Benchmarks, r)
 
 	rounds100k, c100 := benchRounds100kWorkload(0)
-	r = timed("rounds-100k", rounds100k)
+	r = timed("rounds-100k", rounds100k, sampler.Peak())
 	r.Counters = map[string]float64{
 		"requests":  float64(c100.Requests),
 		"successes": float64(c100.Successes),
@@ -413,12 +500,12 @@ func runPerfSuite(path, label, note string, compare bool) error {
 	entry.Benchmarks = append(entry.Benchmarks, r)
 
 	find, inquired := benchFindWorkload(1000)
-	r = timed("find-aggressive-1k", find)
+	r = timed("find-aggressive-1k", find, sampler.Peak())
 	r.Counters = map[string]float64{"inquired": float64(inquired)}
 	entry.Benchmarks = append(entry.Benchmarks, r)
 
 	serveQ, sq := benchServeQueryWorkload(1000)
-	r = timed("serve-query-1k", serveQ)
+	r = timed("serve-query-1k", serveQ, sampler.Peak())
 	r.Counters = map[string]float64{
 		"queries":      float64(sq.Queries),
 		"query_p50_ns": float64(sq.QueryP50Ns),
@@ -427,7 +514,7 @@ func runPerfSuite(path, label, note string, compare bool) error {
 	entry.Benchmarks = append(entry.Benchmarks, r)
 
 	serveM, sm := benchServeMixedWorkload(10000)
-	r = timed("serve-mixed-10k", serveM)
+	r = timed("serve-mixed-10k", serveM, sampler.Peak())
 	r.Counters = map[string]float64{
 		"queries":      float64(sm.Queries),
 		"ingested":     float64(sm.Ingested),
@@ -441,12 +528,23 @@ func runPerfSuite(path, label, note string, compare bool) error {
 	if err != nil {
 		return fmt.Errorf("serve-ingest-fsync: %w", err)
 	}
-	r = timed("serve-ingest-fsync", serveF)
+	r = timed("serve-ingest-fsync", serveF, sampler.Peak())
 	r.Counters = map[string]float64{
 		"ingested":     float64(sf.Ingested),
 		"fsync_p99_ns": float64(sf.FsyncP99Ns),
 	}
 	entry.Benchmarks = append(entry.Benchmarks, r)
+
+	if scale1m {
+		sweep1m, st1m := benchSweep1MWorkload()
+		r = timed("sweep-1m", sweep1m, sampler.Peak())
+		r.Counters = map[string]float64{
+			"requests":           float64(st1m.Requests),
+			"potential_trustees": float64(st1m.PotentialTrustees),
+			"successes":          float64(st1m.Successes),
+		}
+		entry.Benchmarks = append(entry.Benchmarks, r)
+	}
 
 	for _, b := range entry.Benchmarks {
 		fmt.Printf("%-24s %12.0f ns/op %10d B/op %8d allocs/op\n",
@@ -479,6 +577,12 @@ func runPerfSuite(path, label, note string, compare bool) error {
 // accepts before failing (noise on shared CI runners sits well below it).
 const regressionTolerance = 0.15
 
+// heapTolerance is the fractional heap-peak growth past which -compare
+// prints a warning. Warn-only: the sampler's 50 ms grid and GC timing put
+// real variance on the reading, so a hard gate would flake — but a >25%
+// jump on a like-for-like machine is worth a human look.
+const heapTolerance = 0.25
+
 // minEnforceNs is the ns/op floor below which the -compare gate only warns:
 // on sub-millisecond workloads a >15% delta is routinely timer jitter,
 // scheduler noise, or cache alignment, not a code regression, so failing
@@ -508,6 +612,12 @@ func compareEntries(base, cur perfEntry) []string {
 		}
 		ratio := b.NsPerOp / p.NsPerOp
 		fmt.Printf("compare: %-24s %+7.1f%% vs %q\n", b.Name, 100*(ratio-1), base.Label)
+		if p.HeapPeakBytes > 0 && b.HeapPeakBytes > 0 {
+			if hr := float64(b.HeapPeakBytes) / float64(p.HeapPeakBytes); hr > 1+heapTolerance {
+				fmt.Printf("PERF WARN  %s: heap peak %d B vs %d B (%.1f%% larger, tolerance %d%%; warn-only — see heapTolerance)\n",
+					b.Name, b.HeapPeakBytes, p.HeapPeakBytes, 100*(hr-1), int(heapTolerance*100))
+			}
+		}
 		if ratio > 1+regressionTolerance {
 			msg := fmt.Sprintf("%s: %.0f ns/op vs %.0f ns/op (%.1f%% slower, tolerance %d%%)",
 				b.Name, b.NsPerOp, p.NsPerOp, 100*(ratio-1), int(regressionTolerance*100))

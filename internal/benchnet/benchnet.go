@@ -45,6 +45,20 @@ func Net100k() socialgen.Profile {
 	}
 }
 
+// Net1M is the canonical million-node benchmark profile: 1M nodes and 6M
+// edges (average degree 12, within the ROADMAP's 5–10M-edge frontier band),
+// community-structured like every smaller profile. It generates on
+// socialgen's streaming path and is the network behind the sweep-1m
+// siot-bench workload and the CI scale-smoke job.
+func Net1M() socialgen.Profile {
+	return socialgen.Profile{
+		Name:  "bench1m",
+		Nodes: 1_000_000, Edges: 6_000_000,
+		Communities: 12_500, IntraFrac: 0.7, FoF: 0.5, SizeSkew: 1.0,
+		Overlap: 0.2, ChainCommunities: 1, FeatureKinds: 6, FeaturesPerNode: 2,
+	}
+}
+
 // Population builds the benchmark population at the given node count with
 // transitivity experience seeded (5-characteristic alphabet, depth-3
 // chains), ready for delegation rounds and transitivity sweeps.
@@ -55,6 +69,11 @@ func Population(nodes int) (*sim.Population, sim.TransitivitySetup) {
 // Population100k builds the canonical 100k-node benchmark population.
 func Population100k() (*sim.Population, sim.TransitivitySetup) {
 	return PopulationFor(Net100k())
+}
+
+// Population1M builds the canonical million-node benchmark population.
+func Population1M() (*sim.Population, sim.TransitivitySetup) {
+	return PopulationFor(Net1M())
 }
 
 // PopulationFor builds the seeded benchmark population over any profile.

@@ -1,0 +1,96 @@
+package core
+
+import (
+	"cmp"
+	"slices"
+
+	"siot/internal/task"
+)
+
+// CompactRecord is the pointer-free arena form of Record: the task is a
+// dense task.Ref into the owning catalog instead of an embedded Task value.
+// A Record costs ~96 B with two GC-scanned slice headers; a CompactRecord is
+// 40 B with no pointers at all, so the multi-million-record stores and
+// frozen-view arenas of a 1M-node population are invisible to the garbage
+// collector and roughly half the size.
+//
+// A CompactRecord is only meaningful alongside the catalog (or a catalog
+// Tasks() snapshot) its Ref was interned into — the store that owns it, or
+// the TrustView that captured it, carries that resolution table.
+type CompactRecord struct {
+	Exp   Expectation
+	Ref   task.Ref
+	Count uint32
+}
+
+// TW returns the record's trustworthiness under eq. 18 — identical to
+// Record.TW, which depends only on the expectation.
+func (r CompactRecord) TW(n Normalizer) float64 { return r.Exp.Trustworthiness(n) }
+
+// materialize widens a compact record back to the fat Record form. The Task
+// value shares the catalog-owned characteristic and weight slices, so
+// materializing allocates nothing.
+func materialize(tasks []task.Task, r CompactRecord) Record {
+	return Record{Task: tasks[r.Ref], Exp: r.Exp, Count: int(r.Count)}
+}
+
+// searchCompact locates the record for typ in a sorted-by-type compact
+// record slice — the CompactRecord counterpart of searchRecord. tasks is the
+// catalog snapshot resolving the records' refs.
+func searchCompact(tasks []task.Task, recs []CompactRecord, typ task.Type) (int, bool) {
+	return slices.BinarySearchFunc(recs, typ, func(r CompactRecord, t task.Type) int {
+		return cmp.Compare(tasks[r.Ref].Type(), t)
+	})
+}
+
+// CharTWCompact is CharTW over compact records: the weighted-average
+// trustworthiness of one characteristic (the inner fraction of eq. 4),
+// bit-identical to the fat path — the floats come from the same Expectation
+// and the same task weights, resolved through tasks instead of an embedded
+// Task.
+func CharTWCompact(tasks []task.Task, recs []CompactRecord, c task.Characteristic, n Normalizer) (float64, bool) {
+	num, den := 0.0, 0.0
+	for _, r := range recs {
+		if w := tasks[r.Ref].Weight(c); w > 0 {
+			num += w * r.TW(n)
+			den += w
+		}
+	}
+	if den == 0 {
+		return 0, false
+	}
+	return num / den, true
+}
+
+// InferFromCompact is InferFromRecords over compact records (eq. 4):
+// inferred trustworthiness of t from experienced tasks sharing its
+// characteristics, every characteristic covered or ok=false.
+func InferFromCompact(tasks []task.Task, recs []CompactRecord, t task.Task, n Normalizer) (float64, bool) {
+	total := 0.0
+	for _, c := range t.Characteristics() {
+		est, ok := CharTWCompact(tasks, recs, c, n)
+		if !ok {
+			return 0, false
+		}
+		total += t.Weight(c) * est
+	}
+	return total, true
+}
+
+// hopTWCompact is Searcher.hopTW over compact records: one hop under
+// traditional or conservative rules, reading the frozen arena.
+func (s *Searcher) hopTWCompact(tasks []task.Task, recs []CompactRecord, t task.Task, p Policy) (float64, bool) {
+	if len(recs) == 0 {
+		return 0, false
+	}
+	if p == PolicyTraditional {
+		typ := t.Type()
+		for _, r := range recs {
+			if tasks[r.Ref].Type() == typ {
+				return r.TW(s.Norm), true
+			}
+		}
+		return 0, false
+	}
+	return InferFromCompact(tasks, recs, t, s.Norm)
+}

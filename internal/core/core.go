@@ -25,6 +25,7 @@ import (
 	"math"
 
 	"siot/internal/env"
+	"siot/internal/task"
 )
 
 // AgentID identifies an agent (an autonomous social IoT object). The
@@ -177,6 +178,11 @@ type UpdateConfig struct {
 	Init Expectation
 	// Norm is the N[·] operator of eq. 18.
 	Norm Normalizer
+	// Catalog interns the tasks of this store's records. Stores sharing a
+	// population must share one catalog so their compact arenas can be
+	// captured into a single view without ref translation; NewStore supplies
+	// a private catalog when nil.
+	Catalog *task.Catalog
 }
 
 // DefaultUpdateConfig returns the configuration used throughout the paper's

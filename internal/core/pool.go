@@ -25,7 +25,7 @@ import "sync"
 type ArenaPool struct {
 	mu     sync.Mutex
 	offs   shelf[int32]
-	recs   shelf[Record]
+	recs   shelf[CompactRecord]
 	tables shelf[float64]
 }
 
@@ -101,10 +101,10 @@ func (p *ArenaPool) GetOffsets(n int) []int32 {
 	return make([]int32, n)
 }
 
-// GetRecords returns a Record slice of length n, reusing a released arena
-// when one is large enough. Contents are unspecified; captures overwrite
-// every element (CaptureTrustViewParallel panics if a span stays short).
-func (p *ArenaPool) GetRecords(n int) []Record {
+// GetRecords returns a CompactRecord slice of length n, reusing a released
+// arena when one is large enough. Contents are unspecified; captures
+// overwrite every element (CaptureTrustView panics if a span stays short).
+func (p *ArenaPool) GetRecords(n int) []CompactRecord {
 	if p != nil {
 		p.mu.Lock()
 		s := p.recs.get(n)
@@ -113,7 +113,7 @@ func (p *ArenaPool) GetRecords(n int) []Record {
 			return s
 		}
 	}
-	return make([]Record, n)
+	return make([]CompactRecord, n)
 }
 
 // GetTable returns a float64 slice of length n for an EdgeMemo hop table,
@@ -142,7 +142,7 @@ func (p *ArenaPool) putOffsets(s []int32) {
 }
 
 // putRecords releases a record arena back to the pool.
-func (p *ArenaPool) putRecords(s []Record) {
+func (p *ArenaPool) putRecords(s []CompactRecord) {
 	if p == nil {
 		return
 	}

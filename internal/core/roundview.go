@@ -41,15 +41,20 @@ type RoundSource struct {
 }
 
 // CaptureRoundView freezes a population's full round-read state: the
-// per-edge records via CaptureTrustViewParallel (two passes, byte-identical
-// at every worker count) and the per-edge usage counters in one more
-// parallel pass over the CSR rows. Arenas are drawn from pool when non-nil;
-// release them with Release. The adjacency rows must be in ascending target
-// order (the population CSR is; EdgeIndex relies on it).
-func CaptureRoundView(adjOff []int32, adjTo []AgentID, src RoundSource, norm Normalizer, workers int, pool *ArenaPool) *RoundView {
+// per-edge records via CaptureTrustView (two passes, byte-identical at
+// every worker count) and the per-edge usage counters in one more parallel
+// pass over the CSR rows. Arenas are drawn from pool when non-nil; release
+// them with Release. The adjacency rows must be in ascending target order
+// (the population CSR is; EdgeIndex relies on it). A capture whose record
+// total overflows the arena offset space returns ErrArenaOverflow.
+func CaptureRoundView(adjOff []int32, adjTo []AgentID, src RoundSource, norm Normalizer, workers int, pool *ArenaPool) (*RoundView, error) {
 	ne := len(adjTo)
+	tv, err := CaptureTrustView(adjOff, adjTo, src.CaptureSource, workers, pool)
+	if err != nil {
+		return nil, err
+	}
 	v := &RoundView{
-		TrustView: CaptureTrustViewParallel(adjOff, adjTo, src.CaptureSource, workers, pool),
+		TrustView: tv,
 		norm:      norm,
 		resp:      pool.GetOffsets(ne),
 		abus:      pool.GetOffsets(ne),
@@ -64,7 +69,7 @@ func CaptureRoundView(adjOff []int32, adjTo []AgentID, src RoundSource, norm Nor
 			}
 		}
 	})
-	return v
+	return v, nil
 }
 
 // Release returns the view's arenas — the embedded trust view's and the
@@ -98,13 +103,13 @@ func (v *TrustView) EdgeIndex(u, w AgentID) (int32, bool) {
 // (TestRoundViewMatchesLiveStores).
 func (v *RoundView) BestTW(e int32, t task.Task) (float64, bool) {
 	recs := v.EdgeRecords(e)
-	if i, ok := searchRecord(recs, t.Type()); ok {
+	if i, ok := searchCompact(v.tasks, recs, t.Type()); ok {
 		return recs[i].TW(v.norm), true
 	}
 	if len(recs) == 0 {
 		return 0, false
 	}
-	return InferFromRecords(recs, t, v.norm)
+	return InferFromCompact(v.tasks, recs, t, v.norm)
 }
 
 // Usage returns the captured usage log of directed edge e: how the edge's

@@ -57,6 +57,7 @@ func buildRoundFixture(t *testing.T, seed uint64) *roundFixture {
 		task.Uniform(4, task.CharCompute, task.CharStorage),
 	}
 	cfg := DefaultUpdateConfig()
+	cfg.Catalog = task.NewCatalog() // shared across the fixture's stores
 	f.stores = make([]*Store, n)
 	for u := range f.stores {
 		f.stores[u] = NewStore(AgentID(u), cfg)
@@ -87,19 +88,31 @@ func sortAgentIDs(s []AgentID) {
 }
 
 func (f *roundFixture) source() RoundSource {
+	cat := f.stores[0].Catalog()
 	return RoundSource{
 		CaptureSource: CaptureSource{
+			Catalog: cat,
 			Count: func(holder, about AgentID) int {
 				return f.stores[holder].RecordCount(about)
 			},
-			Append: func(holder, about AgentID, buf []Record) []Record {
-				return f.stores[holder].AppendRecords(about, buf)
+			Append: func(holder, about AgentID, buf []CompactRecord) []CompactRecord {
+				return f.stores[holder].AppendCompact(about, cat, buf)
 			},
 		},
 		Usage: func(holder, about AgentID) UsageLog {
 			return f.stores[holder].Usage(about)
 		},
 	}
+}
+
+// mustRoundView is CaptureRoundView failing the test on error.
+func mustRoundView(t *testing.T, f *roundFixture, workers int, pool *ArenaPool) *RoundView {
+	t.Helper()
+	v, err := CaptureRoundView(f.adjOff, f.adjTo, f.source(), UnitNormalizer(), workers, pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
 }
 
 // TestRoundViewMatchesLiveStores pins the round view's read API bit-for-bit
@@ -109,7 +122,7 @@ func (f *roundFixture) source() RoundSource {
 func TestRoundViewMatchesLiveStores(t *testing.T) {
 	for _, workers := range []int{1, 4} {
 		f := buildRoundFixture(t, 7)
-		v := CaptureRoundView(f.adjOff, f.adjTo, f.source(), UnitNormalizer(), workers, nil)
+		v := mustRoundView(t, f, workers, nil)
 		probe := append(f.tasks, task.Uniform(9, task.CharAudio)) // uncovered type
 		for u := 0; u < f.n; u++ {
 			holder := AgentID(u)
@@ -141,7 +154,7 @@ func TestRoundViewMatchesLiveStores(t *testing.T) {
 // after capture must not show through it.
 func TestRoundViewFrozenAcrossMutation(t *testing.T) {
 	f := buildRoundFixture(t, 8)
-	v := CaptureRoundView(f.adjOff, f.adjTo, f.source(), UnitNormalizer(), 2, nil)
+	v := mustRoundView(t, f, 2, nil)
 	u := 0
 	for f.adjOff[u] == f.adjOff[u+1] {
 		u++
@@ -165,7 +178,7 @@ func TestRoundViewFrozenAcrossMutation(t *testing.T) {
 // (including self-loops), never a bogus hit.
 func TestRoundViewEdgeIndexMisses(t *testing.T) {
 	f := buildRoundFixture(t, 9)
-	v := CaptureRoundView(f.adjOff, f.adjTo, f.source(), UnitNormalizer(), 1, nil)
+	v := mustRoundView(t, f, 1, nil)
 	defer v.Release()
 	neighbors := make(map[[2]AgentID]bool)
 	for u := 0; u < f.n; u++ {
@@ -192,7 +205,7 @@ func TestRoundViewEdgeIndexMisses(t *testing.T) {
 func TestRoundViewPooledRelease(t *testing.T) {
 	f := buildRoundFixture(t, 10)
 	pool := NewArenaPool()
-	v1 := CaptureRoundView(f.adjOff, f.adjTo, f.source(), UnitNormalizer(), 2, pool)
+	v1 := mustRoundView(t, f, 2, pool)
 	resp1 := &v1.resp[0]
 	v1.Release()
 	// Mutate usage, recapture: must reuse the arena and show the new counts.
@@ -202,7 +215,7 @@ func TestRoundViewPooledRelease(t *testing.T) {
 	}
 	w := f.adjTo[f.adjOff[u]]
 	f.stores[u].ObserveUsage(w, true)
-	v2 := CaptureRoundView(f.adjOff, f.adjTo, f.source(), UnitNormalizer(), 2, pool)
+	v2 := mustRoundView(t, f, 2, pool)
 	defer v2.Release()
 	if &v2.resp[0] != resp1 {
 		t.Fatal("pooled usage arena was not reused")
@@ -218,7 +231,7 @@ func TestRoundViewPooledRelease(t *testing.T) {
 // compute-phase assertion.
 func TestCountStoreLocks(t *testing.T) {
 	f := buildRoundFixture(t, 11)
-	v := CaptureRoundView(f.adjOff, f.adjTo, f.source(), UnitNormalizer(), 1, nil)
+	v := mustRoundView(t, f, 1, nil)
 	defer v.Release()
 	u := 0
 	for f.adjOff[u] == f.adjOff[u+1] {

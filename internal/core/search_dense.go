@@ -197,7 +197,7 @@ func (s *Searcher) findSerialView(res *SearchResult, view *TrustView, vals []flo
 					hop = vals[int(base)+k]
 					ok = !math.IsNaN(hop)
 				} else {
-					hop, ok = s.hopTW(view.EdgeRecords(base+int32(k)), t, p)
+					hop, ok = s.hopTWCompact(view.tasks, view.EdgeRecords(base+int32(k)), t, p)
 				}
 				if !ok {
 					continue
@@ -267,7 +267,7 @@ func (s *Searcher) findAggressiveView(res *SearchResult, view *TrustView, memo *
 						hop = vals[int(base)+k]
 						ok = !math.IsNaN(hop)
 					} else {
-						hop, ok = CharTW(view.EdgeRecords(base+int32(k)), c, s.Norm)
+						hop, ok = CharTWCompact(view.tasks, view.EdgeRecords(base+int32(k)), c, s.Norm)
 					}
 					if !ok {
 						continue

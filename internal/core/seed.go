@@ -51,12 +51,15 @@ func (s *Store) SeedSorted(batch []SeedRecord) error {
 				i, batch[i].Trustee, batch[i].Task.Type(), batch[i-1].Trustee, batch[i-1].Task.Type())
 		}
 	}
-	// One contiguous arena for the whole batch; per-trustee groups become
+	// One contiguous compact arena for the whole batch — 40 pointer-free
+	// bytes per record, invisible to the GC. Per-trustee groups become
 	// full-capacity-capped subslices, so a later Observe insert reallocates
-	// instead of clobbering the neighboring group.
-	recs := make([]Record, len(batch))
+	// instead of clobbering the neighboring group. Interning is a bucket
+	// scan over a tiny per-profile catalog; the batch's tasks come from the
+	// universe, so after the first few records every Intern is a hit.
+	recs := make([]CompactRecord, len(batch))
 	for i := range batch {
-		recs[i] = Record{Task: batch[i].Task, Exp: batch[i].Exp}
+		recs[i] = CompactRecord{Ref: s.cat.Intern(batch[i].Task), Exp: batch[i].Exp}
 	}
 	for lo := 0; lo < len(batch); {
 		hi := lo + 1
@@ -73,7 +76,7 @@ func (s *Store) SeedSorted(batch []SeedRecord) error {
 // entry adopts the group slice directly (the bulk fast path); otherwise the
 // group is merged with the existing records, seeded entries replacing
 // same-type ones exactly as Seed would.
-func (s *Store) seedGroup(trustee AgentID, group []Record) {
+func (s *Store) seedGroup(trustee AgentID, group []CompactRecord) {
 	sh := s.shard(trustee)
 	storeLockTick()
 	sh.mu.Lock()
@@ -81,15 +84,16 @@ func (s *Store) seedGroup(trustee AgentID, group []Record) {
 	existing := sh.records[trustee]
 	if len(existing) == 0 {
 		if sh.records == nil {
-			sh.records = make(map[AgentID][]Record)
+			sh.records = make(map[AgentID][]CompactRecord)
 		}
 		sh.records[trustee] = group
 		return
 	}
-	merged := make([]Record, 0, len(existing)+len(group))
+	tasks := s.cat.Tasks()
+	merged := make([]CompactRecord, 0, len(existing)+len(group))
 	i, j := 0, 0
 	for i < len(existing) && j < len(group) {
-		switch c := cmp.Compare(existing[i].Task.Type(), group[j].Task.Type()); {
+		switch c := cmp.Compare(tasks[existing[i].Ref].Type(), tasks[group[j].Ref].Type()); {
 		case c < 0:
 			merged = append(merged, existing[i])
 			i++

@@ -12,6 +12,10 @@ import (
 // task type to a particular trustee: the task (with its characteristics and
 // weights), the current expectation, and the number of delegations behind
 // it.
+//
+// Record is the fat public form — stores keep CompactRecord internally and
+// materialize on the way out, sharing the catalog's task slices so the
+// widening allocates nothing.
 type Record struct {
 	Task  task.Task
 	Exp   Expectation
@@ -34,13 +38,19 @@ const storeShards = 8
 // tolerates it being nil.
 type storeShard struct {
 	mu      sync.RWMutex
-	records map[AgentID][]Record
+	records map[AgentID][]CompactRecord
 }
 
 // Store holds the trust state one agent (as trustor) keeps about its
 // trustees: per-(trustee, task type) experience records, plus the usage
 // statistics it keeps about agents that delegated to it (for the reverse
 // evaluation of eq. 1).
+//
+// Records are held compact — tasks interned into the store's catalog, each
+// record 40 pointer-free bytes — so the aggregate record state of a
+// million-node population is GC-transparent. The catalog is shared by every
+// store of a population (UpdateConfig.Catalog); refs therefore carry across
+// stores into captured views without translation.
 //
 // Store is safe for concurrent use: records are striped over sharded
 // RWMutexes keyed by trustee ID, and usage logs carry their own lock. The
@@ -49,6 +59,7 @@ type storeShard struct {
 type Store struct {
 	owner   AgentID
 	cfg     UpdateConfig
+	cat     *task.Catalog
 	shards  [storeShards]storeShard
 	usageMu sync.RWMutex
 	usage   map[AgentID]*UsageLog
@@ -57,12 +68,17 @@ type Store struct {
 // NewStore creates an empty store for the given agent using cfg for all
 // updates. Shard and usage maps are allocated lazily on first write, so an
 // empty store costs one allocation — population builds create one store per
-// node, and at 100k nodes eager maps dominated the build time.
+// node, and at 100k nodes eager maps dominated the build time. A nil
+// cfg.Catalog gets a private catalog; populations share one across all
+// stores.
 func NewStore(owner AgentID, cfg UpdateConfig) *Store {
 	if cfg.Norm == nil {
 		cfg.Norm = UnitNormalizer()
 	}
-	return &Store{owner: owner, cfg: cfg}
+	if cfg.Catalog == nil {
+		cfg.Catalog = task.NewCatalog()
+	}
+	return &Store{owner: owner, cfg: cfg, cat: cfg.Catalog}
 }
 
 // shard returns the lock stripe responsible for a trustee.
@@ -83,15 +99,22 @@ func (s *Store) Owner() AgentID { return s.owner }
 // Config returns the store's update configuration.
 func (s *Store) Config() UpdateConfig { return s.cfg }
 
+// Catalog returns the catalog the store's records are interned into.
+func (s *Store) Catalog() *task.Catalog { return s.cat }
+
 // Record returns the experience record for (trustee, task type), if any.
 func (s *Store) Record(trustee AgentID, typ task.Type) (Record, bool) {
 	sh := s.shard(trustee)
 	storeLockTick()
 	sh.mu.RLock()
 	defer sh.mu.RUnlock()
+	// Snapshot loaded under the lock: every ref in the shard was interned
+	// before the writer that stored it released this lock, so the snapshot
+	// resolves them all (the catalog only grows).
+	tasks := s.cat.Tasks()
 	recs := sh.records[trustee]
-	if i, ok := searchRecord(recs, typ); ok {
-		return recs[i], true
+	if i, ok := searchCompact(tasks, recs, typ); ok {
+		return materialize(tasks, recs[i]), true
 	}
 	return Record{}, false
 }
@@ -104,8 +127,33 @@ func (s *Store) Records(trustee AgentID) []Record {
 
 // AppendRecords appends the experience records about trustee (ordered by
 // task type) to buf and returns the extended slice. Reusing buf across calls
-// keeps the hot read path of the transitivity search allocation-free.
+// keeps the hot read path of the transitivity search allocation-free: the
+// materialized Task values share the catalog's slices.
 func (s *Store) AppendRecords(trustee AgentID, buf []Record) []Record {
+	sh := s.shard(trustee)
+	storeLockTick()
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	recs := sh.records[trustee]
+	if len(recs) == 0 {
+		return buf
+	}
+	tasks := s.cat.Tasks()
+	for _, r := range recs {
+		buf = append(buf, materialize(tasks, r))
+	}
+	return buf
+}
+
+// AppendCompact appends the compact records about trustee (ordered by task
+// type) to buf and returns the extended slice — the zero-widening bulk read
+// behind view captures. cat must be the store's own catalog: the caller is
+// building an arena resolved against it, and mixing catalogs would alias
+// refs across namespaces.
+func (s *Store) AppendCompact(trustee AgentID, cat *task.Catalog, buf []CompactRecord) []CompactRecord {
+	if cat != s.cat {
+		panic("core: AppendCompact with a foreign catalog")
+	}
 	sh := s.shard(trustee)
 	storeLockTick()
 	sh.mu.RLock()
@@ -119,7 +167,7 @@ func (s *Store) AppendRecords(trustee AgentID, buf []Record) []Record {
 
 // RecordCount returns how many records the store holds about trustee. It
 // is the counting pass of the parallel trust-view capture: together with
-// AppendRecords it lets CaptureTrustViewParallel size every arena span
+// AppendCompact it lets CaptureTrustViewParallel size every arena span
 // before filling it.
 func (s *Store) RecordCount(trustee AgentID) int {
 	sh := s.shard(trustee)
@@ -164,23 +212,25 @@ func (s *Store) Trustees() []AgentID {
 // Observe folds the outcome of delegating t to trustee into the store
 // (post-evaluation, eqs. 19–22 / 25–28) and returns the updated record.
 func (s *Store) Observe(trustee AgentID, t task.Task, o Outcome, ectx EnvContext) Record {
+	ref := s.cat.Intern(t)
 	sh := s.shard(trustee)
 	storeLockTick()
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
+	tasks := s.cat.Tasks() // after Intern: resolves ref
 	recs := sh.records[trustee]
-	i, ok := searchRecord(recs, t.Type())
+	i, ok := searchCompact(tasks, recs, t.Type())
 	if !ok {
 		if sh.records == nil {
-			sh.records = make(map[AgentID][]Record)
+			sh.records = make(map[AgentID][]CompactRecord)
 		}
-		recs = slices.Insert(recs, i, Record{Task: t, Exp: s.cfg.Init})
+		recs = slices.Insert(recs, i, CompactRecord{Ref: ref, Exp: s.cfg.Init})
 		sh.records[trustee] = recs
 	}
 	r := &recs[i]
 	r.Exp = Update(r.Exp, o, ectx, s.cfg)
 	r.Count++
-	return *r
+	return materialize(tasks, *r)
 }
 
 // Seed installs an expectation for (trustee, task) without counting a
@@ -192,18 +242,21 @@ func (s *Store) Seed(trustee AgentID, t task.Task, exp Expectation) {
 
 // setRecord installs or replaces the record for the task type of r.Task.
 func (s *Store) setRecord(trustee AgentID, r Record) {
+	ref := s.cat.Intern(r.Task)
+	cr := CompactRecord{Ref: ref, Exp: r.Exp, Count: uint32(r.Count)}
 	sh := s.shard(trustee)
 	storeLockTick()
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
+	tasks := s.cat.Tasks()
 	recs := sh.records[trustee]
-	if i, ok := searchRecord(recs, r.Task.Type()); ok {
-		recs[i] = r
+	if i, ok := searchCompact(tasks, recs, r.Task.Type()); ok {
+		recs[i] = cr
 	} else {
 		if sh.records == nil {
-			sh.records = make(map[AgentID][]Record)
+			sh.records = make(map[AgentID][]CompactRecord)
 		}
-		sh.records[trustee] = slices.Insert(recs, i, r)
+		sh.records[trustee] = slices.Insert(recs, i, cr)
 	}
 }
 
@@ -239,21 +292,7 @@ func (s *Store) InferTW(trustee AgentID, t task.Task) (tw float64, ok bool) {
 	if len(recs) == 0 {
 		return 0, false
 	}
-	total := 0.0
-	for _, c := range t.Characteristics() {
-		num, den := 0.0, 0.0
-		for i := range recs {
-			if w := recs[i].Task.Weight(c); w > 0 {
-				num += w * recs[i].TW(s.cfg.Norm)
-				den += w
-			}
-		}
-		if den == 0 {
-			return 0, false // characteristic not covered by any experience
-		}
-		total += t.Weight(c) * (num / den)
-	}
-	return total, true
+	return InferFromCompact(s.cat.Tasks(), recs, t, s.cfg.Norm)
 }
 
 // BestTW returns the best available trustworthiness estimate for trustee on

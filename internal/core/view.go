@@ -1,6 +1,8 @@
 package core
 
 import (
+	"errors"
+	"fmt"
 	"math"
 	"sync"
 
@@ -9,14 +11,16 @@ import (
 
 // TrustView is a frozen-epoch snapshot of the trust state the transitivity
 // search reads: a CSR adjacency shared with the population plus a flat
-// []Record arena holding, for every directed social edge (u, v), the records
-// u keeps about v at capture time.
+// compact-record arena holding, for every directed social edge (u, v), the
+// records u keeps about v at capture time, with a catalog snapshot resolving
+// their task refs.
 //
 // The search hot loop is pure — it only ever reads (holder, neighbor) record
 // slices — so capturing them once per sweep lets every BFS run over
 // contiguous memory with zero locks and zero per-hop copies, where the live
 // path takes an RWMutex RLock and copies records into a scratch buffer on
-// every hop.
+// every hop. The arena is pointer-free (CompactRecord), so a multi-GB
+// million-node capture is a single GC-transparent allocation.
 //
 // A view is valid for as long as the underlying stores are not mutated: the
 // pure compute phases (TransitivityRun sweeps) qualify; mutuality rounds,
@@ -24,67 +28,65 @@ import (
 // stores. Concurrent readers are safe; the view is never written after
 // capture.
 type TrustView struct {
-	adjOff []int32    // CSR row offsets, len NumAgents+1 (shared, not owned)
-	adjTo  []AgentID  // CSR edge targets (shared, not owned)
-	recOff []int32    // per-edge spans into recs, len len(adjTo)+1
-	recs   []Record   // record arena, grouped by directed edge
-	pool   *ArenaPool // arena source, nil when the arenas were allocated fresh
+	adjOff []int32         // CSR row offsets, len NumAgents+1 (shared, not owned)
+	adjTo  []AgentID       // CSR edge targets (shared, not owned)
+	recOff []int32         // per-edge spans into recs, len len(adjTo)+1
+	recs   []CompactRecord // record arena, grouped by directed edge
+	tasks  []task.Task     // catalog snapshot resolving recs' refs (shared, immutable)
+	pool   *ArenaPool      // arena source, nil when the arenas were allocated fresh
+}
+
+// ErrArenaOverflow reports a capture whose total record count exceeds the
+// int32 offset space of the view arena (~2.1 G records). Before the typed
+// error the prefix sum wrapped silently, corrupting every span after the
+// overflow point.
+var ErrArenaOverflow = errors.New("core: capture arena exceeds int32 offset space")
+
+// checkedArenaLen validates a prefix-summed total against the int32 offset
+// space — the single chokepoint every capture funnels through.
+func checkedArenaLen(total int64) (int32, error) {
+	if total > math.MaxInt32 {
+		return 0, fmt.Errorf("%w: %d records", ErrArenaOverflow, total)
+	}
+	return int32(total), nil
+}
+
+// CaptureSource is the record access a capture needs from the live stores:
+// Count reports how many records holder keeps about about, Append appends
+// exactly those records (compact, refs interned into Catalog) to buf, and
+// Catalog is the shared catalog those refs resolve against
+// (Store.RecordCount / Store.AppendCompact / the population catalog). Count
+// and Append must be safe for concurrent use across distinct holders and
+// observe a quiescent store — capture runs two passes, and a store mutated
+// between them is detected and rejected (panic), not silently misrecorded.
+type CaptureSource struct {
+	Catalog *task.Catalog
+	Count   func(holder, about AgentID) int
+	Append  func(holder, about AgentID, buf []CompactRecord) []CompactRecord
 }
 
 // CaptureTrustView freezes the per-edge records of a population into a view.
 // adjOff/adjTo describe the CSR adjacency over dense agent IDs in
-// [0, len(adjOff)-1); appendRecords must append holder's records about a
-// neighbor to buf and return the extended slice (Store.AppendRecords). The
-// adjacency slices are borrowed, not copied: they must stay immutable for
-// the lifetime of the view.
-func CaptureTrustView(adjOff []int32, adjTo []AgentID, appendRecords func(holder, about AgentID, buf []Record) []Record) *TrustView {
-	v := &TrustView{
-		adjOff: adjOff,
-		adjTo:  adjTo,
-		recOff: make([]int32, len(adjTo)+1),
-		recs:   make([]Record, 0, len(adjTo)),
-	}
-	n := len(adjOff) - 1
-	e := 0
-	for u := 0; u < n; u++ {
-		for _, w := range adjTo[adjOff[u]:adjOff[u+1]] {
-			v.recs = appendRecords(AgentID(u), w, v.recs)
-			e++
-			v.recOff[e] = int32(len(v.recs))
-		}
-	}
-	return v
-}
-
-// CaptureSource is the record access a capture needs from the live stores:
-// Count reports how many records holder keeps about about, and Append
-// appends exactly those records to buf, returning the extended slice
-// (Store.RecordCount / Store.AppendRecords). Both must be safe for
-// concurrent use across distinct holders and observe a quiescent store —
-// capture runs two passes, and a store mutated between them is detected and
-// rejected (panic), not silently misrecorded.
-type CaptureSource struct {
-	Count  func(holder, about AgentID) int
-	Append func(holder, about AgentID, buf []Record) []Record
-}
-
-// CaptureTrustViewParallel is CaptureTrustView sharded over a worker pool,
-// byte-identical to the serial capture at every worker count: a first pass
-// computes per-edge record counts concurrently (prefix-summed into recOff),
-// then workers fill disjoint recs spans in place. Arenas are drawn from
-// pool when non-nil (release them with TrustView.Release); workers <= 1
-// runs the two passes serially over the same code path.
+// [0, len(adjOff)-1); the adjacency slices are borrowed, not copied, and
+// must stay immutable for the lifetime of the view. A first pass computes
+// per-edge record counts concurrently (prefix-summed into recOff), then
+// workers fill disjoint recs spans in place — byte-identical to a serial
+// capture at every worker count (workers <= 1 runs the same two passes
+// serially). Arenas are drawn from pool when non-nil (release them with
+// TrustView.Release).
 //
-// The capture panics if a store's record count changes between the two
-// passes: the frozen-epoch contract requires quiescent stores for the whole
-// capture, and a mismatched span would otherwise leak stale or short data
-// into the arena.
-func CaptureTrustViewParallel(adjOff []int32, adjTo []AgentID, src CaptureSource, workers int, pool *ArenaPool) *TrustView {
+// Captures whose total record count overflows the int32 offset space return
+// ErrArenaOverflow before any arena is filled. The capture panics if a
+// store's record count changes between the two passes: the frozen-epoch
+// contract requires quiescent stores for the whole capture, and a mismatched
+// span would otherwise leak stale or short data into the arena.
+func CaptureTrustView(adjOff []int32, adjTo []AgentID, src CaptureSource, workers int, pool *ArenaPool) (*TrustView, error) {
 	ne := len(adjTo)
 	v := &TrustView{
 		adjOff: adjOff,
 		adjTo:  adjTo,
 		recOff: pool.GetOffsets(ne + 1),
+		tasks:  src.Catalog.Tasks(),
 		pool:   pool,
 	}
 	// Pass 1: per-edge record counts, written one slot right so the prefix
@@ -97,9 +99,19 @@ func CaptureTrustViewParallel(adjOff []int32, adjTo []AgentID, src CaptureSource
 			}
 		}
 	})
+	// Serial prefix sum in int64: per-edge counts are individually small but
+	// their total can overflow int32 at the million-node scale, and a
+	// wrapped offset corrupts every later span.
 	v.recOff[0] = 0
+	total := int64(0)
 	for e := 0; e < ne; e++ {
-		v.recOff[e+1] += v.recOff[e]
+		total += int64(v.recOff[e+1])
+		checked, err := checkedArenaLen(total)
+		if err != nil {
+			v.recOff, v.recs = nil, nil
+			return nil, err
+		}
+		v.recOff[e+1] = checked
 	}
 	// Pass 2: fill disjoint spans in place. Appending into a zero-length,
 	// exact-capacity subslice writes directly into the arena; a span that
@@ -114,12 +126,12 @@ func CaptureTrustViewParallel(adjOff []int32, adjTo []AgentID, src CaptureSource
 				span, want := v.recOff[e], v.recOff[e+1]-v.recOff[e]
 				got := src.Append(AgentID(u), w, v.recs[span:span:span+want])
 				if int32(len(got)) != want {
-					panic("core: store mutated during CaptureTrustViewParallel")
+					panic("core: store mutated during CaptureTrustView")
 				}
 			}
 		}
 	})
-	return v
+	return v, nil
 }
 
 // parallelRows splits the CSR rows into one contiguous chunk per worker,
@@ -180,11 +192,16 @@ func (v *TrustView) Neighbors(u AgentID) []AgentID {
 	return v.adjTo[v.adjOff[u]:v.adjOff[u+1]]
 }
 
-// EdgeRecords returns the captured records of directed edge e (an index into
-// the CSR edge array). The slice aliases the arena and must not be modified.
-func (v *TrustView) EdgeRecords(e int32) []Record {
+// EdgeRecords returns the captured compact records of directed edge e (an
+// index into the CSR edge array). The slice aliases the arena and must not
+// be modified; resolve task refs through Tasks.
+func (v *TrustView) EdgeRecords(e int32) []CompactRecord {
 	return v.recs[v.recOff[e]:v.recOff[e+1]]
 }
+
+// Tasks returns the catalog snapshot resolving the view's record refs,
+// indexed by task.Ref. The slice is immutable and shared.
+func (v *TrustView) Tasks() []task.Task { return v.tasks }
 
 // blocked is the sentinel for "hop not admissible" in memo tables. Record
 // trustworthiness is always finite (Expectation.Validate rejects NaN), so
@@ -284,7 +301,10 @@ func (m *EdgeMemo) Reset(view *TrustView) {
 // characteristic tables for aggressive. It must not run concurrently with
 // searches; tables already present are reused (an epoch can Require for
 // several policies in turn and share the work where semantics overlap).
+// Requiring a task already covered is free, so a sharded sweep can Require
+// per shard without rebuilding.
 func (m *EdgeMemo) Require(p Policy, tasks []task.Task) {
+	cat := m.view.tasks
 	switch p {
 	case PolicyTraditional:
 		for _, t := range tasks {
@@ -292,9 +312,9 @@ func (m *EdgeMemo) Require(p Policy, tasks []task.Task) {
 				continue
 			}
 			typ := t.Type()
-			m.tradVal[typ] = m.table(func(recs []Record) (float64, bool) {
+			m.tradVal[typ] = m.table(func(recs []CompactRecord) (float64, bool) {
 				for _, r := range recs {
-					if r.Task.Type() == typ {
+					if cat[r.Ref].Type() == typ {
 						return r.TW(m.norm), true
 					}
 				}
@@ -303,12 +323,12 @@ func (m *EdgeMemo) Require(p Policy, tasks []task.Task) {
 		}
 	case PolicyConservative:
 		for _, t := range tasks {
-			if prev, ok := m.consTask[t.Type()]; ok && sameTask(prev, t) {
+			if prev, ok := m.consTask[t.Type()]; ok && prev.Equal(t) {
 				continue
 			}
 			t := t
-			m.consVal[t.Type()] = m.table(func(recs []Record) (float64, bool) {
-				return InferFromRecords(recs, t, m.norm)
+			m.consVal[t.Type()] = m.table(func(recs []CompactRecord) (float64, bool) {
+				return InferFromCompact(cat, recs, t, m.norm)
 			})
 			m.consTask[t.Type()] = t
 		}
@@ -319,8 +339,8 @@ func (m *EdgeMemo) Require(p Policy, tasks []task.Task) {
 					continue
 				}
 				c := c
-				m.charVal[c] = m.table(func(recs []Record) (float64, bool) {
-					return CharTW(recs, c, m.norm)
+				m.charVal[c] = m.table(func(recs []CompactRecord) (float64, bool) {
+					return CharTWCompact(cat, recs, c, m.norm)
 				})
 			}
 		}
@@ -337,26 +357,10 @@ func (m *EdgeMemo) typeTable(p Policy, t task.Task) []float64 {
 	if p == PolicyTraditional {
 		return m.tradVal[t.Type()]
 	}
-	if prev, ok := m.consTask[t.Type()]; !ok || !sameTask(prev, t) {
+	if prev, ok := m.consTask[t.Type()]; !ok || !prev.Equal(t) {
 		return nil
 	}
 	return m.consVal[t.Type()]
-}
-
-// sameTask reports whether two tasks carry the same characteristic bag and
-// weights (types already match by construction of the lookup).
-func sameTask(a, b task.Task) bool {
-	ac, bc := a.Characteristics(), b.Characteristics()
-	if len(ac) != len(bc) {
-		return false
-	}
-	aw, bw := a.Weights(), b.Weights()
-	for i := range ac {
-		if ac[i] != bc[i] || aw[i] != bw[i] {
-			return false
-		}
-	}
-	return true
 }
 
 // charTable returns the per-edge CharTW table for c, or nil when absent.
@@ -368,7 +372,7 @@ func (m *EdgeMemo) charTable(c task.Characteristic) []float64 {
 }
 
 // table evaluates compute over every edge's records in parallel chunks.
-func (m *EdgeMemo) table(compute func(recs []Record) (float64, bool)) []float64 {
+func (m *EdgeMemo) table(compute func(recs []CompactRecord) (float64, bool)) []float64 {
 	ne := m.view.NumEdges()
 	vals := m.pool.GetTable(ne)
 	fill := func(lo, hi int) {

@@ -12,12 +12,23 @@ func tinyView(t *testing.T, tk task.Task) *TrustView {
 	t.Helper()
 	adjOff := []int32{0, 1, 3, 4}
 	adjTo := []AgentID{1, 0, 2, 1}
-	store := map[[2]AgentID][]Record{
-		{0, 1}: {{Task: tk, Exp: Expectation{S: 0.9, G: 0.9, D: 0.1}, Count: 1}},
+	cat := task.NewCatalog()
+	store := map[[2]AgentID][]CompactRecord{
+		{0, 1}: {{Ref: cat.Intern(tk), Exp: Expectation{S: 0.9, G: 0.9, D: 0.1}, Count: 1}},
 	}
-	return CaptureTrustView(adjOff, adjTo, func(holder, about AgentID, buf []Record) []Record {
-		return append(buf, store[[2]AgentID{holder, about}]...)
-	})
+	v, err := CaptureTrustView(adjOff, adjTo, CaptureSource{
+		Catalog: cat,
+		Count: func(holder, about AgentID) int {
+			return len(store[[2]AgentID{holder, about}])
+		},
+		Append: func(holder, about AgentID, buf []CompactRecord) []CompactRecord {
+			return append(buf, store[[2]AgentID{holder, about}]...)
+		},
+	}, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
 }
 
 // TestEdgeMemoConservativeTaskGuard: the conservative table is only valid
@@ -46,7 +57,7 @@ func TestEdgeMemoConservativeTaskGuard(t *testing.T) {
 	// The rebuilt table must block edge (0,1): the record covers GPS, not
 	// Image.
 	vals := memo.typeTable(PolicyConservative, taskB)
-	if _, ok := InferFromRecords(view.EdgeRecords(0), taskB, UnitNormalizer()); ok {
+	if _, ok := InferFromCompact(view.Tasks(), view.EdgeRecords(0), taskB, UnitNormalizer()); ok {
 		t.Fatal("fixture broken: taskB should not be inferable from a GPS record")
 	}
 	if !isBlocked(vals[0]) {

@@ -23,10 +23,11 @@ func assertSameView(t *testing.T, label string, want, got *core.TrustView) {
 			t.Fatalf("%s: edge %d holds %d records, want %d", label, e, len(g), len(w))
 		}
 		for i := range w {
+			wt, gt := want.Tasks()[w[i].Ref], got.Tasks()[g[i].Ref]
 			if w[i].Count != g[i].Count || w[i].Exp != g[i].Exp ||
-				w[i].Task.Type() != g[i].Task.Type() ||
-				!reflect.DeepEqual(w[i].Task.Characteristics(), g[i].Task.Characteristics()) ||
-				!reflect.DeepEqual(w[i].Task.Weights(), g[i].Task.Weights()) {
+				wt.Type() != gt.Type() ||
+				!reflect.DeepEqual(wt.Characteristics(), gt.Characteristics()) ||
+				!reflect.DeepEqual(wt.Weights(), gt.Weights()) {
 				t.Fatalf("%s: edge %d record %d = %+v, want %+v", label, e, i, g[i], w[i])
 			}
 		}

@@ -151,7 +151,17 @@ func (e *Engine) acceptsDelegation(view *core.RoundView, y, x core.AgentID) bool
 // returns the results indexed by trustor position. fn must not mutate
 // shared state; it may read it freely.
 func mapTrustors[T any](ids []core.AgentID, workers int, fn func(i int, x core.AgentID) T) []T {
-	out := make([]T, len(ids))
+	return mapTrustorsInto[T](nil, ids, workers, fn)
+}
+
+// mapTrustorsInto is mapTrustors writing into a caller-provided result
+// buffer (grown only when too small, so a shard loop reuses one allocation
+// across shards). Indices passed to fn are positions within ids.
+func mapTrustorsInto[T any](out []T, ids []core.AgentID, workers int, fn func(i int, x core.AgentID) T) []T {
+	if cap(out) < len(ids) {
+		out = make([]T, len(ids))
+	}
+	out = out[:len(ids)]
 	if workers > len(ids) {
 		workers = len(ids)
 	}

@@ -96,49 +96,100 @@ type findSummary struct {
 
 var resultPool = sync.Pool{New: func() any { return new(core.SearchResult) }}
 
+// defaultSweepShard is the trustor-shard width of Run: large enough that
+// the per-shard Require and merge overheads vanish, small enough that the
+// per-trustor scratch alive at any instant (task slice, result summaries,
+// pooled search states) stays bounded no matter how many trustors the
+// population has. At 1M nodes a monolithic sweep materializes ~400k task
+// values and summaries at once; a 32k shard keeps the working set at a few
+// MB without touching the output.
+const defaultSweepShard = 32 * 1024
+
 // Run plays one transitivity run over the frozen epoch: identical semantics
 // and bit-identical statistics to the live-store path, with hop values
 // served from the memo tables. Safe to call repeatedly (the memo fills
 // lazily per policy and task set); not safe concurrently with itself.
 func (ep *TransitivityEpoch) Run(policy core.Policy, seed uint64) TransitivityStats {
+	return ep.SweepSharded(policy, seed, defaultSweepShard)
+}
+
+// SweepSharded is Run processing the trustors in consecutive shards of the
+// given width (<= 0 means one shard): per shard it draws the trustors'
+// tasks, tops up the memo, fans the searches out over the worker pool, and
+// merges the shard's stats — so only one shard's scratch is ever
+// materialized, streaming a million-trustor sweep through a bounded working
+// set.
+//
+// Sharding is invisible in the output — bit-identical statistics at every
+// shard width and worker count. The recipe: tasks are drawn from one
+// continuing stream in ascending trustor order regardless of shard cuts;
+// per-shard memo top-ups only add tables (memoized hops are bit-identical
+// to arena fallbacks, so table timing cannot show through); and the merge
+// consumes the outcome stream in the same ascending trustor order as the
+// monolithic loop (TestSweepShardedEquivalence pins all of this).
+func (ep *TransitivityEpoch) SweepSharded(policy core.Policy, seed uint64, shard int) TransitivityStats {
 	p := ep.p
-	taskRng := rng.New(seed, "transitivity-tasks", p.Net.Profile.Name)
-	tasks := make([]task.Task, len(p.Trustors))
-	for i := range tasks {
-		tasks[i] = ep.setup.Universe.Random(taskRng)
+	if shard <= 0 {
+		shard = len(p.Trustors)
 	}
+	taskRng := rng.New(seed, "transitivity-tasks", p.Net.Profile.Name)
+	outcomeRng := rng.New(seed, "transitivity-outcomes", p.Net.Profile.Name, policy.String())
 	ref := ep.handle.Acquire()
 	if ref == nil {
 		panic("sim: Run on a released TransitivityEpoch")
 	}
 	defer ref.Release()
 	view := ref.View().TrustView
-	// Pre-pass: memoize every per-edge hop value the searches will read, in
-	// parallel over the CSR edge array, before the read-only fan-out.
-	ep.memo.Require(policy, tasks)
-	results := mapTrustors(p.Trustors, ep.workers, func(i int, x core.AgentID) findSummary {
-		res := resultPool.Get().(*core.SearchResult)
-		ep.s.FindViewInto(res, view, ep.memo, x, tasks[i], policy)
-		sum := findSummary{candidates: len(res.Candidates), inquired: res.Inquired}
-		sum.best, sum.found = res.Best()
-		resultPool.Put(res)
-		return sum
-	})
-	outcomeRng := rng.New(seed, "transitivity-outcomes", p.Net.Profile.Name, policy.String())
 	var st TransitivityStats
-	for i := range p.Trustors {
-		res := results[i]
-		st.Requests++
-		st.PotentialTrustees += res.candidates
-		st.InquiredPerTrustor = append(st.InquiredPerTrustor, res.inquired)
-		if !res.found {
-			st.Unavailable++
-			continue
+	st.InquiredPerTrustor = make([]int, 0, len(p.Trustors))
+	var tasks []task.Task
+	var results []findSummary
+	for lo := 0; lo < len(p.Trustors); lo += shard {
+		hi := min(lo+shard, len(p.Trustors))
+		ids := p.Trustors[lo:hi]
+		if cap(tasks) < len(ids) {
+			tasks = make([]task.Task, len(ids))
 		}
-		capability := p.Agent(res.best.ID).Behavior.TaskCompetence(tasks[i])
-		if outcomeRng.Float64() < capability {
-			st.Successes++
+		tasks = tasks[:len(ids)]
+		for i := range tasks {
+			tasks[i] = ep.setup.Universe.Random(taskRng)
+		}
+		// Pre-pass: memoize every per-edge hop value this shard's searches
+		// will read, in parallel over the CSR edge array, before the
+		// read-only fan-out. Tables built for earlier shards are reused.
+		ep.memo.Require(policy, tasks)
+		results = mapTrustorsInto(results, ids, ep.workers, func(i int, x core.AgentID) findSummary {
+			res := resultPool.Get().(*core.SearchResult)
+			ep.s.FindViewInto(res, view, ep.memo, x, tasks[i], policy)
+			sum := findSummary{candidates: len(res.Candidates), inquired: res.Inquired}
+			sum.best, sum.found = res.Best()
+			resultPool.Put(res)
+			return sum
+		})
+		for i := range ids {
+			res := results[i]
+			st.Requests++
+			st.PotentialTrustees += res.candidates
+			st.InquiredPerTrustor = append(st.InquiredPerTrustor, res.inquired)
+			if !res.found {
+				st.Unavailable++
+				continue
+			}
+			capability := p.Agent(res.best.ID).Behavior.TaskCompetence(tasks[i])
+			if outcomeRng.Float64() < capability {
+				st.Successes++
+			}
 		}
 	}
 	return st
+}
+
+// SweepSharded captures a frozen epoch over the population and plays one
+// sharded transitivity run on it — the streaming entry point for one-shot
+// sweeps at scales where per-trustor scratch must stay bounded. Equivalent
+// to TransitivityRun for every shard width.
+func SweepSharded(p *Population, setup TransitivitySetup, policy core.Policy, seed uint64, workers, shard int) TransitivityStats {
+	ep := newTransitivityEpoch(p, setup, workers)
+	defer ep.Release()
+	return ep.SweepSharded(policy, seed, shard)
 }

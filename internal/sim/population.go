@@ -117,6 +117,12 @@ func NewPopulation(net *socialgen.Network, cfg PopulationConfig) *Population {
 		}
 	}
 
+	if cfg.Update.Catalog == nil {
+		// One catalog per population: every agent's store interns into it, so
+		// compact records from any store resolve against one ref namespace
+		// and view captures need no translation.
+		cfg.Update.Catalog = task.NewCatalog()
+	}
 	p := &Population{Net: net, Agents: make([]*agent.Agent, n), cfg: cfg}
 	workers := p.setupWorkers()
 	behaviorLabel := "population-behavior:" + net.Profile.Name
@@ -300,27 +306,30 @@ func (p *Population) Searcher(maxDepth int, omega1, omega2 float64) *core.Search
 	}
 }
 
+// Catalog returns the task catalog shared by every store of the population.
+func (p *Population) Catalog() *task.Catalog { return p.cfg.Update.Catalog }
+
 // TrustView captures a frozen-epoch snapshot of every agent's store along
 // the social edges — the read substrate of the transitivity sweeps. The
 // snapshot shares the population's CSR adjacency and copies the current
-// per-edge records into a contiguous arena; it stays valid until the next
-// store mutation (delegation round, seeding pass, or identity churn).
+// per-edge records into a contiguous compact arena; it stays valid until the
+// next store mutation (delegation round, seeding pass, or identity churn).
 func (p *Population) TrustView() *core.TrustView {
-	return core.CaptureTrustView(p.adjOff, p.adjTo, func(holder, about core.AgentID, buf []core.Record) []core.Record {
-		return p.Agents[holder].Store.AppendRecords(about, buf)
-	})
+	return p.TrustViewParallel(1, nil)
 }
 
-// CaptureSource exposes the population's stores to the parallel trust-view
-// capture (core.CaptureTrustViewParallel): per-edge record counts for the
-// sizing pass and in-place appends for the fill pass.
+// CaptureSource exposes the population's stores to the trust-view capture
+// (core.CaptureTrustView): the shared catalog, per-edge record counts for
+// the sizing pass, and in-place compact appends for the fill pass.
 func (p *Population) CaptureSource() core.CaptureSource {
+	cat := p.Catalog()
 	return core.CaptureSource{
+		Catalog: cat,
 		Count: func(holder, about core.AgentID) int {
 			return p.Agents[holder].Store.RecordCount(about)
 		},
-		Append: func(holder, about core.AgentID, buf []core.Record) []core.Record {
-			return p.Agents[holder].Store.AppendRecords(about, buf)
+		Append: func(holder, about core.AgentID, buf []core.CompactRecord) []core.CompactRecord {
+			return p.Agents[holder].Store.AppendCompact(about, cat, buf)
 		},
 	}
 }
@@ -328,9 +337,15 @@ func (p *Population) CaptureSource() core.CaptureSource {
 // TrustViewParallel is TrustView captured over a worker pool, drawing
 // arenas from pool (either may be degraded: workers <= 1 captures
 // serially, a nil pool allocates fresh). The result is byte-identical to
-// TrustView at every worker count.
+// TrustView at every worker count. A population large enough to overflow
+// the arena offset space (~2.1 G records) panics with ErrArenaOverflow —
+// callers that want the error handle core.CaptureTrustView directly.
 func (p *Population) TrustViewParallel(workers int, pool *core.ArenaPool) *core.TrustView {
-	return core.CaptureTrustViewParallel(p.adjOff, p.adjTo, p.CaptureSource(), workers, pool)
+	v, err := core.CaptureTrustView(p.adjOff, p.adjTo, p.CaptureSource(), workers, pool)
+	if err != nil {
+		panic(err)
+	}
+	return v
 }
 
 // RoundSource exposes the population's stores to a round-view capture: the
@@ -351,5 +366,9 @@ func (p *Population) RoundSource() core.RoundSource {
 // pool allocates fresh). Byte-identical at every worker count. The engine
 // publishes one per round boundary through its EpochHandle.
 func (p *Population) RoundView(workers int, pool *core.ArenaPool) *core.RoundView {
-	return core.CaptureRoundView(p.adjOff, p.adjTo, p.RoundSource(), p.cfg.Update.Norm, workers, pool)
+	v, err := core.CaptureRoundView(p.adjOff, p.adjTo, p.RoundSource(), p.cfg.Update.Norm, workers, pool)
+	if err != nil {
+		panic(err)
+	}
+	return v
 }

@@ -1,0 +1,56 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+
+	"siot/internal/core"
+)
+
+// assertSameStats requires two transitivity runs to be bit-identical:
+// every counter and the full per-trustor inquiry trace.
+func assertSameStats(t *testing.T, label string, want, got TransitivityStats) {
+	t.Helper()
+	if want.Requests != got.Requests || want.Successes != got.Successes ||
+		want.Unavailable != got.Unavailable || want.PotentialTrustees != got.PotentialTrustees {
+		t.Fatalf("%s: stats %+v, want %+v", label, got, want)
+	}
+	if len(want.InquiredPerTrustor) != len(got.InquiredPerTrustor) {
+		t.Fatalf("%s: %d inquiry entries, want %d", label, len(got.InquiredPerTrustor), len(want.InquiredPerTrustor))
+	}
+	for i := range want.InquiredPerTrustor {
+		if want.InquiredPerTrustor[i] != got.InquiredPerTrustor[i] {
+			t.Fatalf("%s: inquired[%d] = %d, want %d", label, i, got.InquiredPerTrustor[i], want.InquiredPerTrustor[i])
+		}
+	}
+}
+
+// TestSweepShardedEquivalence pins the streaming-sweep contract: the sharded
+// sweep is bit-identical to the monolithic run at every shard width (one
+// trustor per shard, a width that does not divide the trustor count, one
+// giant shard) crossed with every worker count — the determinism recipe the
+// million-node path rests on.
+func TestSweepShardedEquivalence(t *testing.T) {
+	p, setup := viewTestPopulation(t, 23, 5)
+	if len(p.Trustors) < 10 {
+		t.Fatalf("fixture too small: %d trustors", len(p.Trustors))
+	}
+	for _, pol := range []core.Policy{core.PolicyTraditional, core.PolicyConservative, core.PolicyAggressive} {
+		// Reference: one shard, serial.
+		want := SweepSharded(p, setup, pol, 77, 1, 0)
+		for _, shard := range []int{1, 7, 64, len(p.Trustors) + 1} {
+			for _, workers := range []int{1, 8} {
+				got := SweepSharded(p, setup, pol, 77, workers, shard)
+				assertSameStats(t, fmt.Sprintf("%s shard=%d workers=%d", pol, shard, workers), want, got)
+			}
+		}
+		// The epoch entry points route through the same sharded
+		// implementation: Run (default width) and a reused epoch must match.
+		eng := NewEngine(p, "sweep-test")
+		eng.Parallelism = 4
+		ep := eng.TransitivityEpoch(setup)
+		assertSameStats(t, fmt.Sprintf("%s epoch default-shard", pol), want, ep.Run(pol, 77))
+		assertSameStats(t, fmt.Sprintf("%s epoch shard=13", pol), want, ep.SweepSharded(pol, 77, 13))
+		ep.Release()
+	}
+}

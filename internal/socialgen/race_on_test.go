@@ -1,0 +1,8 @@
+//go:build race
+
+package socialgen
+
+// raceEnabled reports that the race detector is active: the million-node
+// generation property sweep is memory- and time-hostile under -race, so it
+// skips.
+const raceEnabled = true

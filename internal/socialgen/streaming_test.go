@@ -87,6 +87,22 @@ func TestGenerateProperties100k(t *testing.T) {
 	checkGenerateProperties(t, largeTestProfile(100000, 500000), 42)
 }
 
+// TestGenerateProperties1M exercises the streaming path at the million-node
+// frontier: 1M nodes, 6M edges. The full property contract holds — exact
+// counts, simplicity, connectivity, determinism across reruns — at the scale
+// the sharded sweep serves. Slow (two full generations plus a connectivity
+// scan) and memory-heavy, so it skips under -short and under the race
+// detector.
+func TestGenerateProperties1M(t *testing.T) {
+	if testing.Short() {
+		t.Skip("1M-node generation property sweep skipped in -short mode")
+	}
+	if raceEnabled {
+		t.Skip("1M-node generation property sweep skipped under -race")
+	}
+	checkGenerateProperties(t, largeTestProfile(1_000_000, 6_000_000), 42)
+}
+
 // TestGenerateStreamingThresholdBoundary pins the dispatch and the
 // streaming contract right at the threshold, plus a near-tree edge budget
 // (the tightest exact-count case: the connectivity spine alone nearly

@@ -106,6 +106,21 @@ func (t Task) Weight(c Characteristic) float64 {
 // Has reports whether the task includes characteristic c.
 func (t Task) Has(c Characteristic) bool { return t.Weight(c) > 0 }
 
+// Equal reports whether two tasks are identical: same type, same sorted
+// characteristic bag, and exactly equal weights. This is the identity the
+// Catalog interns by and the sameness test the per-type memo tables use.
+func (t Task) Equal(o Task) bool {
+	if t.typ != o.typ || len(t.chars) != len(o.chars) {
+		return false
+	}
+	for i := range t.chars {
+		if t.chars[i] != o.chars[i] || t.weights[i] != o.weights[i] {
+			return false
+		}
+	}
+	return true
+}
+
 // NumCharacteristics returns the number of characteristics in the task.
 func (t Task) NumCharacteristics() int { return len(t.chars) }
 

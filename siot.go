@@ -115,10 +115,31 @@ type RoundView = core.RoundView
 // trust-view record passes plus per-edge usage lookup.
 type RoundSource = core.RoundSource
 
+// CompactRecord is the pointer-free arena form of Record: the task is a
+// dense TaskRef into the owning TaskCatalog. The form stores and frozen
+// views hold internally at million-record scale.
+type CompactRecord = core.CompactRecord
+
+// TaskCatalog interns tasks into dense refs; every store of a population
+// shares one (UpdateConfig.Catalog).
+type TaskCatalog = task.Catalog
+
+// TaskRef is a dense catalog index standing in for a Task. Refs are only
+// meaningful against the catalog that issued them.
+type TaskRef = task.Ref
+
+// NewTaskCatalog returns an empty task catalog.
+func NewTaskCatalog() *TaskCatalog { return task.NewCatalog() }
+
+// ErrArenaOverflow reports a view capture whose record total exceeds the
+// arena offset space (~2.1 G records).
+var ErrArenaOverflow = core.ErrArenaOverflow
+
 // CaptureRoundView freezes per-edge records and usage counters over a CSR
 // adjacency (rows ascending by target). Arenas come from pool when
-// non-nil; release the view exactly once.
-func CaptureRoundView(adjOff []int32, adjTo []AgentID, src RoundSource, norm Normalizer, workers int, pool *ArenaPool) *RoundView {
+// non-nil; release the view exactly once. Captures overflowing the arena
+// offset space return ErrArenaOverflow.
+func CaptureRoundView(adjOff []int32, adjTo []AgentID, src RoundSource, norm Normalizer, workers int, pool *ArenaPool) (*RoundView, error) {
 	return core.CaptureRoundView(adjOff, adjTo, src, norm, workers, pool)
 }
 
