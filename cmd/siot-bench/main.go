@@ -57,6 +57,7 @@ func main() {
 	note := flag.String("note", "", "context note recorded with the -json perf entry (e.g. a deliberate workload change)")
 	compare := flag.String("compare", "", "run the perf suite against this JSON history file, appending the new entry and exiting non-zero on any >15% ns/op regression vs the previous last entry (implies -json)")
 	scale1m := flag.Bool("scale1m", false, "include the million-node sweep-1m workload in the -json/-compare perf suite (several minutes, ~6 GB of heap)")
+	modelName := flag.String("model", "", "restrict the model-matrix experiment to one registered trust model (empty = all)")
 	flag.Parse()
 
 	if err := cliutil.ValidateParallel(*parallel); err != nil {
@@ -93,7 +94,7 @@ func main() {
 			continue
 		}
 		fmt.Printf("==> %s (seed %d)\n", name, *seed)
-		res, err := experiments.RunOpts(name, experiments.Options{Seed: *seed, Parallelism: *parallel})
+		res, err := experiments.RunOpts(name, experiments.Options{Seed: *seed, Parallelism: *parallel, Model: *modelName})
 		if err != nil {
 			cliutil.Usage("siot-bench", err)
 		}

@@ -1,6 +1,8 @@
 package main
 
 import (
+	"io"
+	"os"
 	"strings"
 	"testing"
 )
@@ -82,6 +84,92 @@ func TestCompareEntriesFloor(t *testing.T) {
 				if !strings.HasPrefix(got[i], name+":") {
 					t.Errorf("regression %d = %q, want it to name %q", i, got[i], name)
 				}
+			}
+		})
+	}
+}
+
+// withHeap stamps heap-peak readings onto an entry's benchmarks.
+func withHeap(e perfEntry, heap map[string]uint64) perfEntry {
+	for i := range e.Benchmarks {
+		e.Benchmarks[i].HeapPeakBytes = heap[e.Benchmarks[i].Name]
+	}
+	return e
+}
+
+// captureStdout runs f with os.Stdout redirected to a pipe and returns
+// what it printed (compareEntries reports heap growth as a printed
+// warning, not a returned regression).
+func captureStdout(t *testing.T, f func()) string {
+	t.Helper()
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := os.Stdout
+	os.Stdout = w
+	defer func() { os.Stdout = orig }()
+	f()
+	w.Close()
+	out, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(out)
+}
+
+// TestCompareEntriesHeapWarning pins the heap-peak comparison's guard: the
+// warning fires only when BOTH sides carry a reading and the growth
+// exceeds heapTolerance. An entry recorded before heap sampling existed
+// (or a workload whose sample is zero) must never produce a warning —
+// comparing against an absent baseline would report growth from zero.
+// Heap findings are warn-only: they never join the returned regressions.
+func TestCompareEntriesHeapWarning(t *testing.T) {
+	ns := map[string]float64{"rounds": 10 * minEnforceNs}
+	cases := []struct {
+		name      string
+		base, cur perfEntry
+		wantWarn  bool
+	}{
+		{
+			name:     "growth past tolerance warns",
+			base:     withHeap(entryOn(8, 8, ns), map[string]uint64{"rounds": 1 << 30}),
+			cur:      withHeap(entryOn(8, 8, ns), map[string]uint64{"rounds": 1 << 31}),
+			wantWarn: true,
+		},
+		{
+			name: "growth within tolerance silent",
+			base: withHeap(entryOn(8, 8, ns), map[string]uint64{"rounds": 1 << 30}),
+			cur:  withHeap(entryOn(8, 8, ns), map[string]uint64{"rounds": (1 << 30) + (1 << 27)}),
+		},
+		{
+			name: "shrink silent",
+			base: withHeap(entryOn(8, 8, ns), map[string]uint64{"rounds": 1 << 31}),
+			cur:  withHeap(entryOn(8, 8, ns), map[string]uint64{"rounds": 1 << 30}),
+		},
+		{
+			name: "baseline without heap reading silent",
+			base: entryOn(8, 8, ns),
+			cur:  withHeap(entryOn(8, 8, ns), map[string]uint64{"rounds": 1 << 31}),
+		},
+		{
+			name: "current without heap reading silent",
+			base: withHeap(entryOn(8, 8, ns), map[string]uint64{"rounds": 1 << 31}),
+			cur:  entryOn(8, 8, ns),
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var regressions []string
+			out := captureStdout(t, func() {
+				regressions = compareEntries(tc.base, tc.cur)
+			})
+			if len(regressions) != 0 {
+				t.Fatalf("heap delta produced hard regressions %v (must be warn-only)", regressions)
+			}
+			warned := strings.Contains(out, "heap peak")
+			if warned != tc.wantWarn {
+				t.Fatalf("heap warning printed = %v, want %v; output:\n%s", warned, tc.wantWarn, out)
 			}
 		})
 	}

@@ -5,9 +5,12 @@
 // Usage:
 //
 //	siot-netgen [-seed N] [-net facebook|gplus|twitter|all] [-edges FILE]
+//	siot-netgen -model all
 //
 // With -edges, the file is loaded as a whitespace-separated edge list and
-// characterized instead of generating a synthetic network.
+// characterized instead of generating a synthetic network. With -model, the
+// named registered trust model's descriptor (combine rule, gating, training
+// kind) is printed instead.
 package main
 
 import (
@@ -16,6 +19,7 @@ import (
 	"os"
 
 	"siot/internal/cliutil"
+	"siot/internal/core"
 	"siot/internal/socialgen"
 )
 
@@ -23,7 +27,29 @@ func main() {
 	seed := flag.Uint64("seed", 1, "generation seed")
 	netName := flag.String("net", "all", "network profile: facebook, gplus, twitter, or all")
 	edgeFile := flag.String("edges", "", "characterize a SNAP edge-list file instead of generating")
+	modelName := flag.String("model", "", "print a registered trust model's descriptor instead of generating; 'all' lists every model")
 	flag.Parse()
+
+	if *modelName != "" {
+		names := []string{*modelName}
+		if *modelName == "all" {
+			names = core.ModelNames()
+		}
+		for _, n := range names {
+			m, err := core.ParseModel(n)
+			if err != nil {
+				cliutil.Usage("siot-netgen", err)
+			}
+			spec := m.Spec()
+			kind := "closed-form"
+			if _, ok := m.(core.EpochTrainable); ok {
+				kind = "epoch-trained"
+			}
+			fmt.Printf("%-18s combine=%-8s omega-gated=%-5v per-characteristic=%-5v %s\n",
+				m.Name(), spec.Combine, spec.OmegaGated, spec.PerCharacteristic, kind)
+		}
+		return
+	}
 
 	if *edgeFile != "" {
 		if err := characterizeFile(*edgeFile, *seed); err != nil {

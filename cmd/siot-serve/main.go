@@ -9,6 +9,7 @@
 //
 //	siot-serve -addr 127.0.0.1:8476 -net facebook -seeded -journal trust.jsonl
 //	siot-serve -nodes 1000 -policy conservative -epoch-every 512 -fsync always
+//	siot-serve -net twitter -model hellinger-mf -journal trust.jsonl
 //	siot-serve -journal trust.jsonl -resume
 //	siot-serve -replay trust.jsonl
 //
@@ -68,6 +69,7 @@ func main() {
 		seed          = flag.Uint64("seed", 1, "world seed (network, roles, task universe, seeding)")
 		chars         = flag.Int("chars", 5, "task-characteristic alphabet size")
 		policyName    = flag.String("policy", "aggressive", "trust-transfer policy: traditional, conservative, aggressive")
+		modelName     = flag.String("model", "", "registered trust model for non-direct answers (supersedes -policy)")
 		seeded        = flag.Bool("seeded", true, "pre-seed experience records so queries are answerable from the start")
 		theta         = flag.Float64("theta", 0.3, "reverse-evaluation threshold installed on trustees")
 		epochEvery    = flag.Int("epoch-every", 256, "republish the epoch after this many applied events")
@@ -113,14 +115,23 @@ func main() {
 		return
 	}
 
-	policy, err := core.ParsePolicy(*policyName)
+	var mdl core.TrustModel
+	if *modelName != "" {
+		mdl, err = core.ParseModel(*modelName)
+	} else {
+		var policy core.Policy
+		policy, err = core.ParsePolicy(*policyName)
+		if err == nil {
+			mdl = policy.Model()
+		}
+	}
 	if err != nil {
 		cliutil.Usage("siot-serve", err)
 	}
 
 	cfg := serve.Config{
 		Net: *netName, Nodes: *nodes, Seed: *seed, Chars: *chars,
-		Policy: policy, Seeded: *seeded, Theta: *theta,
+		Model: mdl, Seeded: *seeded, Theta: *theta,
 		EpochEvery: *epochEvery, EpochInterval: *epochInterval,
 		Workers: *parallel, Fsync: fsync,
 	}
@@ -163,8 +174,8 @@ func main() {
 	defer cancel()
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
-	log.Printf("siot-serve: %d agents, %d task types, policy %s, fsync %s, listening on %s",
-		engine.NumAgents(), len(engine.TaskTypes()), policy, fsync, *addr)
+	log.Printf("siot-serve: %d agents, %d task types, model %s, fsync %s, listening on %s",
+		engine.NumAgents(), len(engine.TaskTypes()), mdl.Name(), fsync, *addr)
 
 	select {
 	case <-ctx.Done():

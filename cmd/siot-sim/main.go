@@ -8,6 +8,8 @@
 //
 //	siot-sim -net facebook -rounds 40 -theta 0.3
 //	siot-sim -net twitter -mode transitivity -policy aggressive -chars 5
+//	siot-sim -net twitter -mode transitivity -model hellinger-mf
+//	siot-sim -experiment model-matrix -model feature-weighted
 //	siot-sim -net gplus -mode netprofit -iters 1000 -strategy netprofit
 //	siot-sim -rounds 100 -attack onoff -attackers 25
 //	siot-sim -experiment attack-collusion -attack badmouth -collude
@@ -48,6 +50,7 @@ func main() {
 		rounds     = flag.Int("rounds", 40, "mutuality: delegation rounds")
 		theta      = flag.Float64("theta", 0.3, "mutuality: reverse-evaluation threshold")
 		policy     = flag.String("policy", "aggressive", "transitivity: traditional, conservative, aggressive")
+		modelName  = flag.String("model", "", "transitivity: registered trust model (supersedes -policy; see -list)")
 		chars      = flag.Int("chars", 5, "transitivity: number of characteristics in the network")
 		iters      = flag.Int("iters", 1000, "netprofit: iterations")
 		strategy   = flag.String("strategy", "netprofit", "netprofit: successrate or netprofit")
@@ -73,6 +76,7 @@ func main() {
 	if *list {
 		fmt.Println("experiments:", experiments.Names())
 		fmt.Println("attack models:", adversary.Names())
+		fmt.Println("trust models:", core.ModelNames())
 		return
 	}
 
@@ -80,6 +84,7 @@ func main() {
 		res, err := experiments.RunOpts(*experiment, experiments.Options{
 			Seed: *seed, Parallelism: *parallel,
 			Attack: *attack, Attackers: *attackers, Collude: *collude,
+			Model: *modelName,
 		})
 		if err != nil {
 			cliutil.Usage("siot-sim", err)
@@ -146,7 +151,19 @@ func main() {
 		}
 
 	case "transitivity":
-		pol, err := core.ParsePolicy(*policy)
+		// -model picks any registered trust model; -policy remains the
+		// legacy spelling for the three paper policies (whose adapters are
+		// bit-identical to the policy path).
+		var mdl core.TrustModel
+		if *modelName != "" {
+			mdl, err = core.ParseModel(*modelName)
+		} else {
+			var pol core.Policy
+			pol, err = core.ParsePolicy(*policy)
+			if err == nil {
+				mdl = pol.Model()
+			}
+		}
 		if err != nil {
 			cliutil.Usage("siot-sim", err)
 		}
@@ -156,8 +173,8 @@ func main() {
 		r := rng.New(*seed, "cli-transitivity")
 		setup := sim.DefaultTransitivitySetup(*chars, r)
 		sim.SeedExperience(p, setup, *seed)
-		st := sim.NewEngine(p, "cli-transitivity").TransitivityRun(setup, pol, *seed)
-		fmt.Printf("policy=%s chars=%d\n", pol, *chars)
+		st := sim.NewEngine(p, "cli-transitivity").TransitivityRunModel(setup, mdl, *seed)
+		fmt.Printf("model=%s chars=%d\n", mdl.Name(), *chars)
 		fmt.Printf("success rate       %.3f\n", st.SuccessRate())
 		fmt.Printf("unavailable rate   %.3f\n", st.UnavailableRate())
 		fmt.Printf("potential trustees %.2f\n", st.AvgPotentialTrustees())

@@ -1,0 +1,374 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"slices"
+	"sort"
+	"sync"
+
+	"siot/internal/task"
+)
+
+// This file is the trust-model zoo: the paper's three §4.3 policies are one
+// point in the design space the related work maps out (Hellinger-based
+// matrix-factorization trust, feature-weighted trust quantification, ...).
+// TrustModel abstracts the per-hop evaluation those policies share, so an
+// alternative model plugs into the same frozen-view search, EdgeMemo
+// pre-pass, sharded sweeps, serving layer, and attack suite — with the three
+// Policy constants implemented as adapters whose behavior is bit-identical
+// to the pre-interface dispatch.
+
+// CombineRule selects how path values accumulate along a recommendation
+// chain in the generic model search.
+type CombineRule uint8
+
+const (
+	// CombineProduct is the plain product of eq. 5 (the traditional
+	// baseline's accumulation).
+	CombineProduct CombineRule = iota
+	// CombineMistrust is eq. 7's CombinePair: a·b + (1−a)·(1−b), crediting
+	// the case where a distrusted intermediate misjudges.
+	CombineMistrust
+)
+
+// String names the rule for descriptors and diagnostics.
+func (r CombineRule) String() string {
+	if r == CombineProduct {
+		return "product"
+	}
+	return "mistrust"
+}
+
+// ModelSpec is a model's combine/threshold descriptor: everything the
+// generic search needs to drive the model besides its per-hop value.
+type ModelSpec struct {
+	// Combine selects the path-accumulation rule.
+	Combine CombineRule
+	// OmegaGated applies the searcher's ω1/ω2 thresholds to hop values
+	// (relay requires hop ≥ ω1, candidacy hop ≥ ω2). When false any
+	// positive hop relays and mints — the traditional baseline's
+	// "without any restriction" rule.
+	OmegaGated bool
+	// PerCharacteristic marks models evaluated one characteristic at a
+	// time along independent paths (the aggressive policy, eqs. 12–17).
+	// Only the aggressive adapter sets it; the generic single-path search
+	// does not support it.
+	PerCharacteristic bool
+}
+
+// HopContext carries the frozen-epoch resolution state a hop evaluation
+// needs: the catalog snapshot the records' task refs resolve against and
+// the trustworthiness normalizer.
+type HopContext struct {
+	Tasks []task.Task
+	Norm  Normalizer
+}
+
+// TrustModel scores one hop of trust evidence: given the compact experience
+// records a holder keeps about a neighbor, produce the hop trustworthiness
+// for a task, or ok=false when the evidence does not admit the hop. A model
+// must be pure and safe for concurrent use; HopTW values must stay in
+// [0, 1]. Implementations that also satisfy EpochTrainable are fitted once
+// per frozen epoch and scored through the trained EdgeScorer instead.
+type TrustModel interface {
+	// Name is the model's registry key, stable across releases — it feeds
+	// CLI flags, journal headers, and the deterministic outcome-stream
+	// labels of the sweeps, so renaming a model re-keys its draws.
+	Name() string
+	// Spec describes how the search drives the model.
+	Spec() ModelSpec
+	// HopTW evaluates one hop from the edge's records.
+	HopTW(ctx HopContext, recs []CompactRecord, t task.Task) (float64, bool)
+}
+
+// EdgeScorer scores directed view edges for a trained model. Scorers are
+// immutable after training and safe for concurrent use.
+type EdgeScorer interface {
+	// EdgeTW scores directed edge e (an index into the view's CSR edge
+	// array) for task t; ok=false blocks the hop.
+	EdgeTW(view *TrustView, e int32, t task.Task) (float64, bool)
+}
+
+// EpochTrainable marks models that fit parameters against a frozen epoch
+// (matrix factorizations, learned weightings). TrainEpoch must be
+// deterministic for a given view at every worker count — the trained
+// scorer's outputs must be bit-identical whether training ran on 1 or 8
+// goroutines. EdgeMemo.RequireModel trains once per epoch and caches the
+// scorer; the model's plain HopTW remains the untrained evidence-local
+// fallback for paths with no epoch to train on.
+type EpochTrainable interface {
+	TrustModel
+	TrainEpoch(view *TrustView, norm Normalizer, workers int) EdgeScorer
+}
+
+// policyModel adapts one of the paper's §4.3 policies to the TrustModel
+// interface. The adapters exist so every dispatch site (sweeps, serving,
+// experiments) can speak TrustModel while the three policies keep their
+// exact legacy search paths: FindViewModelInto routes adapters back to
+// FindViewInto, and EdgeMemo.RequireModel routes them to Require, so the
+// refactor is invisible in every golden byte.
+type policyModel struct{ p Policy }
+
+func (pm policyModel) Name() string { return pm.p.String() }
+
+func (pm policyModel) Spec() ModelSpec {
+	switch pm.p {
+	case PolicyTraditional:
+		return ModelSpec{Combine: CombineProduct}
+	case PolicyConservative:
+		return ModelSpec{Combine: CombineMistrust, OmegaGated: true}
+	default:
+		return ModelSpec{Combine: CombineMistrust, OmegaGated: true, PerCharacteristic: true}
+	}
+}
+
+// HopTW mirrors Searcher.hopTWCompact for the single-path policies. The
+// aggressive policy is searched per characteristic, not through this
+// single-hop lens; as a hop value it uses the full-coverage inference of
+// eq. 4 (the task-weighted combination of its per-characteristic values
+// over one edge's records).
+func (pm policyModel) HopTW(ctx HopContext, recs []CompactRecord, t task.Task) (float64, bool) {
+	if len(recs) == 0 {
+		return 0, false
+	}
+	if pm.p == PolicyTraditional {
+		typ := t.Type()
+		for _, r := range recs {
+			if ctx.Tasks[r.Ref].Type() == typ {
+				return r.TW(ctx.Norm), true
+			}
+		}
+		return 0, false
+	}
+	return InferFromCompact(ctx.Tasks, recs, t, ctx.Norm)
+}
+
+// policyModels holds the three adapters as pre-allocated interface values,
+// so Policy.Model never allocates on a hot path.
+var policyModels = [3]TrustModel{
+	policyModel{PolicyTraditional},
+	policyModel{PolicyConservative},
+	policyModel{PolicyAggressive},
+}
+
+// Model returns the TrustModel adapter for the policy. Adapter names equal
+// Policy.String, so model-keyed rng labels and registry lookups coincide
+// with the historical policy-keyed ones.
+func (p Policy) Model() TrustModel {
+	return policyModels[p]
+}
+
+// modelPolicy recovers the Policy behind an adapter, false for every other
+// model. Dispatch sites use it to route adapters onto the legacy
+// policy-specific paths.
+func modelPolicy(m TrustModel) (Policy, bool) {
+	if pm, ok := m.(policyModel); ok {
+		return pm.p, true
+	}
+	return 0, false
+}
+
+// modelRegistry maps registered model names to instances. Registration
+// happens in init functions; lookups after init are read-only.
+var modelRegistry = struct {
+	mu     sync.RWMutex
+	byName map[string]TrustModel
+}{byName: make(map[string]TrustModel)}
+
+// RegisterModel adds a model to the registry under m.Name. It panics on an
+// empty or duplicate name: the name keys journal headers and deterministic
+// rng labels, so a collision would silently cross-wire two models.
+func RegisterModel(m TrustModel) {
+	name := m.Name()
+	if name == "" {
+		panic("core: RegisterModel with an empty name")
+	}
+	modelRegistry.mu.Lock()
+	defer modelRegistry.mu.Unlock()
+	if _, dup := modelRegistry.byName[name]; dup {
+		panic(fmt.Sprintf("core: RegisterModel duplicate name %q", name))
+	}
+	modelRegistry.byName[name] = m
+}
+
+// ParseModel resolves a registered model name — the superset of ParsePolicy:
+// the three policy names resolve to their adapters, and every additional
+// registered model resolves by its name.
+func ParseModel(s string) (TrustModel, error) {
+	modelRegistry.mu.RLock()
+	m, ok := modelRegistry.byName[s]
+	modelRegistry.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("core: unknown trust model %q (want one of %v)", s, ModelNames())
+	}
+	return m, nil
+}
+
+// ModelNames returns the sorted names of every registered model.
+func ModelNames() []string {
+	modelRegistry.mu.RLock()
+	defer modelRegistry.mu.RUnlock()
+	names := make([]string, 0, len(modelRegistry.byName))
+	for name := range modelRegistry.byName {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// IsPolicyModel reports whether m is one of the three paper-policy
+// adapters (callers that must persist a Policy-compatible header or follow
+// a legacy code path key off this).
+func IsPolicyModel(m TrustModel) bool {
+	_, ok := modelPolicy(m)
+	return ok
+}
+
+func init() {
+	for _, pm := range policyModels {
+		RegisterModel(pm)
+	}
+}
+
+// FindModel is Find dispatching through a TrustModel. The three policy
+// adapters run the legacy map-based live-store search; every other model
+// reads trained or evidence-local state that only exists on a frozen view,
+// so non-adapter models must be searched with FindViewModel and panic here.
+func (s *Searcher) FindModel(trustor AgentID, t task.Task, m TrustModel) SearchResult {
+	if p, ok := modelPolicy(m); ok {
+		return s.Find(trustor, t, p)
+	}
+	panic(fmt.Sprintf("core: model %q requires a frozen view (use FindViewModel)", m.Name()))
+}
+
+// FindViewModel is FindView dispatching through a TrustModel.
+func (s *Searcher) FindViewModel(view *TrustView, memo *EdgeMemo, trustor AgentID, t task.Task, m TrustModel) SearchResult {
+	var res SearchResult
+	s.FindViewModelInto(&res, view, memo, trustor, t, m)
+	return res
+}
+
+// FindViewModelInto is FindViewModel writing into res, reusing its
+// capacity. Policy adapters take the exact legacy FindViewInto path
+// (bit-identical to pre-interface dispatch); other models run the generic
+// single-path search driven by their ModelSpec. A PerCharacteristic model
+// other than the aggressive adapter is not supported by the generic search
+// and panics.
+func (s *Searcher) FindViewModelInto(res *SearchResult, view *TrustView, memo *EdgeMemo, trustor AgentID, t task.Task, m TrustModel) {
+	if p, ok := modelPolicy(m); ok {
+		s.FindViewInto(res, view, memo, trustor, t, p)
+		return
+	}
+	spec := m.Spec()
+	if spec.PerCharacteristic {
+		panic(fmt.Sprintf("core: per-characteristic model %q is not supported by the generic search", m.Name()))
+	}
+	st := acquireDense(view.NumAgents())
+	s.findModelView(res, view, memo, trustor, t, m, spec, st)
+	densePool.Put(st)
+}
+
+// modelHopSource resolves, once per search, how hops are evaluated for a
+// model over a view: the memoized per-edge table when RequireModel built
+// one for this exact task, else the trained scorer for EpochTrainable
+// models, else the model's evidence-local HopTW.
+type modelHopSource struct {
+	vals   []float64
+	scorer EdgeScorer
+	model  TrustModel
+	ctx    HopContext
+}
+
+func resolveModelHops(view *TrustView, memo *EdgeMemo, m TrustModel, t task.Task, norm Normalizer) modelHopSource {
+	src := modelHopSource{model: m, ctx: HopContext{Tasks: view.tasks, Norm: norm}}
+	if memo != nil {
+		src.vals = memo.modelTable(m, t)
+		if src.vals != nil {
+			return src
+		}
+		src.scorer = memo.modelScorer[m.Name()]
+	}
+	if src.scorer == nil {
+		if _, trainable := m.(EpochTrainable); trainable {
+			panic(fmt.Sprintf("core: model %q is epoch-trainable but untrained (call EdgeMemo.RequireModel first)", m.Name()))
+		}
+	}
+	return src
+}
+
+func (src *modelHopSource) hop(view *TrustView, e int32, t task.Task) (float64, bool) {
+	if src.vals != nil {
+		v := src.vals[e]
+		return v, !math.IsNaN(v)
+	}
+	if src.scorer != nil {
+		return src.scorer.EdgeTW(view, e, t)
+	}
+	return src.model.HopTW(src.ctx, view.EdgeRecords(e), t)
+}
+
+// findModelView is findSerialView generalized over a ModelSpec: the same
+// dense BFS, with the combine rule and ω gating read from the model's
+// descriptor instead of the Policy switch.
+func (s *Searcher) findModelView(res *SearchResult, view *TrustView, memo *EdgeMemo, trustor AgentID, t task.Task, m TrustModel, spec ModelSpec, st *denseState) {
+	src := resolveModelHops(view, memo, m, t, s.Norm)
+	st.inqCur = st.nextStamp()
+	st.inqCount = 0
+	st.bestCur = st.nextStamp()
+	st.candIDs = st.candIDs[:0]
+	adjOff, adjTo := view.adjOff, view.adjTo
+	cur, nxt := &st.fr[0], &st.fr[1]
+	cur.reset(st.nextStamp())
+	cur.add(trustor, 1)
+	for depth := 1; depth <= s.MaxDepth && len(cur.ids) > 0; depth++ {
+		nxt.reset(st.nextStamp())
+		relay := depth < s.MaxDepth
+		for _, u := range cur.ids {
+			uval := cur.val[u]
+			base := adjOff[u]
+			for k, v := range adjTo[base:adjOff[u+1]] {
+				if v == trustor {
+					continue
+				}
+				hop, ok := src.hop(view, base+int32(k), t)
+				if !ok {
+					continue
+				}
+				st.markInquired(v)
+				var val float64
+				if spec.Combine == CombineProduct {
+					val = uval * hop
+				} else {
+					val = CombinePair(uval, hop)
+				}
+				passTrustee := hop > 0
+				passRecommender := hop > 0
+				if spec.OmegaGated {
+					passTrustee = hop >= s.Omega2
+					passRecommender = hop >= s.Omega1
+				}
+				if passTrustee && s.isCandidate(v) {
+					if st.bestStamp[v] != st.bestCur {
+						st.bestStamp[v] = st.bestCur
+						st.bestVal[v] = val
+						st.candIDs = append(st.candIDs, v)
+					} else if val > st.bestVal[v] {
+						st.bestVal[v] = val
+					}
+				}
+				if relay && passRecommender {
+					nxt.add(v, val)
+				}
+			}
+		}
+		cur, nxt = nxt, cur
+		slices.Sort(cur.ids)
+	}
+	res.Candidates = res.Candidates[:0]
+	for _, v := range st.candIDs {
+		res.Candidates = append(res.Candidates, Candidate{ID: v, TW: st.bestVal[v]})
+	}
+	SortCandidates(res.Candidates)
+	res.Inquired = st.inqCount
+}

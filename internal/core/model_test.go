@@ -1,0 +1,244 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"siot/internal/task"
+)
+
+// TestPolicyAdapterMatchesLegacyHop pins the adapter half of the TrustModel
+// refactor: each policy's adapter evaluates HopTW bit-identical to the
+// legacy dispatch it wraps — hopTWCompact for the single-path policies and
+// the eq. 4 full-coverage inference for the aggressive policy — over the
+// same randomized fixtures as TestCompactMatchesFatReference.
+func TestPolicyAdapterMatchesLegacyHop(t *testing.T) {
+	probes := []task.Task{
+		task.Uniform(1, task.CharGPS),
+		task.Uniform(7, task.CharGPS, task.CharCompute),
+		task.MustNew(8, map[task.Characteristic]float64{task.CharImage: 0.9, task.CharStorage: 0.1}),
+		task.Uniform(9, task.CharAudio), // uncovered
+	}
+	norm := UnitNormalizer()
+	s := &Searcher{Norm: norm}
+	for seed := uint64(1); seed <= 8; seed++ {
+		for size := 0; size <= 5; size++ {
+			f := buildCompactFixture(seed, size)
+			ctx := HopContext{Tasks: f.tasks, Norm: norm}
+			for _, tk := range probes {
+				for _, p := range []Policy{PolicyTraditional, PolicyConservative} {
+					legacyV, legacyOK := s.hopTWCompact(f.tasks, f.compact, tk, p)
+					gotV, gotOK := p.Model().HopTW(ctx, f.compact, tk)
+					if gotV != legacyV || gotOK != legacyOK {
+						t.Fatalf("seed %d size %d: %s adapter HopTW(task %d) = (%v, %v), legacy (%v, %v)",
+							seed, size, p, tk.Type(), gotV, gotOK, legacyV, legacyOK)
+					}
+				}
+				legacyV, legacyOK := InferFromCompact(f.tasks, f.compact, tk, norm)
+				if size == 0 {
+					legacyOK = false // empty evidence never admits a hop
+					legacyV = 0
+				}
+				gotV, gotOK := PolicyAggressive.Model().HopTW(ctx, f.compact, tk)
+				if gotV != legacyV || gotOK != legacyOK {
+					t.Fatalf("seed %d size %d: aggressive adapter HopTW(task %d) = (%v, %v), InferFromCompact (%v, %v)",
+						seed, size, tk.Type(), gotV, gotOK, legacyV, legacyOK)
+				}
+			}
+		}
+	}
+}
+
+// TestModelHopTWRange: every registered model's HopTW stays in [0, 1] and
+// blocks empty evidence, across randomized record sets — the interface
+// contract the search and the serving layer rely on without re-clamping.
+func TestModelHopTWRange(t *testing.T) {
+	probes := []task.Task{
+		task.Uniform(1, task.CharGPS),
+		task.Uniform(7, task.CharGPS, task.CharCompute),
+		task.MustNew(8, map[task.Characteristic]float64{task.CharImage: 0.9, task.CharStorage: 0.1}),
+		task.Uniform(9, task.CharAudio),
+	}
+	norm := UnitNormalizer()
+	for _, name := range ModelNames() {
+		m, err := ParseModel(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := m.HopTW(HopContext{Norm: norm}, nil, probes[0]); ok {
+			t.Fatalf("model %s admits a hop with no records", name)
+		}
+		for seed := uint64(1); seed <= 20; seed++ {
+			for size := 1; size <= 5; size++ {
+				f := buildCompactFixture(seed, size)
+				ctx := HopContext{Tasks: f.tasks, Norm: norm}
+				for _, tk := range probes {
+					v, ok := m.HopTW(ctx, f.compact, tk)
+					if !ok {
+						continue
+					}
+					if v < 0 || v > 1 {
+						t.Fatalf("model %s: HopTW(seed %d, size %d, task %d) = %v outside [0, 1]",
+							name, seed, size, tk.Type(), v)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestModelSpecs pins each registered model's search descriptor: a silent
+// spec change would re-route the generic search (gating, combine rule)
+// without failing any golden that happens not to exercise the edge.
+func TestModelSpecs(t *testing.T) {
+	want := map[string]ModelSpec{
+		"traditional":      {Combine: CombineProduct},
+		"conservative":     {Combine: CombineMistrust, OmegaGated: true},
+		"aggressive":       {Combine: CombineMistrust, OmegaGated: true, PerCharacteristic: true},
+		"hellinger-mf":     {Combine: CombineMistrust, OmegaGated: true},
+		"feature-weighted": {Combine: CombineMistrust, OmegaGated: true},
+	}
+	for name, spec := range want {
+		m, err := ParseModel(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.Spec() != spec {
+			t.Fatalf("model %s spec = %+v, want %+v", name, m.Spec(), spec)
+		}
+	}
+	if !IsPolicyModel(PolicyConservative.Model()) {
+		t.Fatal("conservative adapter not recognized as a policy model")
+	}
+	for _, name := range []string{"hellinger-mf", "feature-weighted"} {
+		m, _ := ParseModel(name)
+		if IsPolicyModel(m) {
+			t.Fatalf("model %s wrongly recognized as a policy adapter", name)
+		}
+	}
+	if _, ok := mustParseModel(t, "hellinger-mf").(EpochTrainable); !ok {
+		t.Fatal("hellinger-mf is not epoch-trainable")
+	}
+	if _, ok := mustParseModel(t, "feature-weighted").(EpochTrainable); ok {
+		t.Fatal("feature-weighted unexpectedly epoch-trainable")
+	}
+}
+
+func mustParseModel(t *testing.T, name string) TrustModel {
+	t.Helper()
+	m, err := ParseModel(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// FuzzParseModel: ParseModel accepts exactly the registered names, and an
+// accepted model round-trips its registry key.
+func FuzzParseModel(f *testing.F) {
+	for _, name := range ModelNames() {
+		f.Add(name)
+	}
+	f.Add("")
+	f.Add("Traditional")
+	f.Add("hellinger-mf ")
+	f.Add("not-a-model")
+	registered := map[string]bool{}
+	for _, name := range ModelNames() {
+		registered[name] = true
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		m, err := ParseModel(s)
+		if registered[s] {
+			if err != nil {
+				t.Fatalf("registered name %q rejected: %v", s, err)
+			}
+			if m.Name() != s {
+				t.Fatalf("ParseModel(%q).Name() = %q", s, m.Name())
+			}
+		} else if err == nil {
+			t.Fatalf("unregistered name %q accepted as %q", s, m.Name())
+		}
+	})
+}
+
+// TestSearchStateScrub pins the pool-retention fix: a state returned to
+// searchPool must not pin the last call's record values (each fat Record
+// embeds a Task with two live slice headers), must drop an outsized record
+// buffer entirely, and must bound how many per-characteristic maps it
+// keeps — with the retained maps emptied.
+func TestSearchStateScrub(t *testing.T) {
+	// populate builds a pool-valid state (all maps allocated, as
+	// searchPool.New does — releaseState may park it for later Finds)
+	// carrying everything scrub must clear.
+	populate := func(recCap, nChars int) *searchState {
+		st := &searchState{
+			inquired: make(map[AgentID]bool),
+			best:     make(map[AgentID]float64),
+			frontier: make(map[AgentID]float64),
+			next:     make(map[AgentID]float64),
+			recbuf:   make([]Record, 0, recCap),
+		}
+		tk := task.Uniform(1, task.CharGPS, task.CharImage)
+		st.recbuf = st.recbuf[:recCap/2]
+		for i := range st.recbuf {
+			st.recbuf[i] = Record{Task: tk, Exp: Expectation{S: 0.9}, Count: i + 1}
+		}
+		for i := 0; i < nChars; i++ {
+			st.perChar = append(st.perChar, map[AgentID]float64{AgentID(i): 0.5})
+		}
+		return st
+	}
+
+	t.Run("in-bounds keeps capacity, zeroes values", func(t *testing.T) {
+		st := populate(64, 3)
+		st.scrub()
+		if len(st.recbuf) != 0 || cap(st.recbuf) != 64 {
+			t.Fatalf("recbuf len/cap = %d/%d, want 0/64", len(st.recbuf), cap(st.recbuf))
+		}
+		full := st.recbuf[:cap(st.recbuf)]
+		for i, r := range full {
+			if !reflect.DeepEqual(r, Record{}) {
+				t.Fatalf("recbuf[%d] retains %+v after scrub", i, r)
+			}
+		}
+		if len(st.perChar) != 3 {
+			t.Fatalf("perChar len = %d, want 3", len(st.perChar))
+		}
+		for i, m := range st.perChar {
+			if len(m) != 0 {
+				t.Fatalf("perChar[%d] retains %d entries after scrub", i, len(m))
+			}
+		}
+	})
+
+	t.Run("oversized recbuf released", func(t *testing.T) {
+		st := populate(maxPooledRecbuf+1, 0)
+		st.scrub()
+		if st.recbuf != nil {
+			t.Fatalf("recbuf cap %d survived scrub (limit %d)", cap(st.recbuf), maxPooledRecbuf)
+		}
+	})
+
+	t.Run("perChar bounded", func(t *testing.T) {
+		st := populate(8, maxPooledChars+5)
+		st.scrub()
+		if len(st.perChar) != maxPooledChars || cap(st.perChar) != maxPooledChars {
+			t.Fatalf("perChar len/cap = %d/%d, want %d/%d",
+				len(st.perChar), cap(st.perChar), maxPooledChars, maxPooledChars)
+		}
+		for i, m := range st.perChar {
+			if len(m) != 0 {
+				t.Fatalf("retained perChar[%d] not emptied", i)
+			}
+		}
+	})
+
+	t.Run("releaseState scrubs", func(t *testing.T) {
+		st := populate(32, 2)
+		releaseState(st) // must not panic; st now pooled
+		if len(st.recbuf) != 0 {
+			t.Fatal("releaseState pooled an unscrubbed state")
+		}
+	})
+}

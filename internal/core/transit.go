@@ -227,6 +227,42 @@ func acquireState() *searchState {
 	return st
 }
 
+// Pooled-retention bounds for searchState: recbuf holds fat Record values
+// (embedded Task with two GC-scanned slice headers), so a state parked in
+// the pool with a populated recbuf pins the last call's records — and
+// perChar grows monotonically with the widest task ever searched. scrub
+// zeroes what the pool may retain and drops outsized buffers entirely.
+const (
+	// maxPooledRecbuf caps the record-buffer capacity a pooled state keeps.
+	maxPooledRecbuf = 4096
+	// maxPooledChars caps how many per-characteristic maps a pooled state
+	// keeps (tasks have a handful of characteristics).
+	maxPooledChars = 8
+)
+
+// scrub clears everything a pooled state must not retain: record values
+// are zeroed (the capacity survives, the pointers do not), an outsized
+// recbuf is released to the GC, and perChar is emptied and bounded.
+func (st *searchState) scrub() {
+	clear(st.recbuf[:cap(st.recbuf)])
+	st.recbuf = st.recbuf[:0]
+	if cap(st.recbuf) > maxPooledRecbuf {
+		st.recbuf = nil
+	}
+	if len(st.perChar) > maxPooledChars {
+		st.perChar = st.perChar[:maxPooledChars:maxPooledChars]
+	}
+	for _, m := range st.perChar {
+		clear(m)
+	}
+}
+
+// releaseState scrubs and pools a search state.
+func releaseState(st *searchState) {
+	st.scrub()
+	searchPool.Put(st)
+}
+
 // Find discovers potential trustees for the trustor's task under the given
 // policy. Each social hop (u → v) is admissible only if u's experience
 // records about v satisfy the policy for the task; admissible hops below
@@ -246,7 +282,7 @@ func (s *Searcher) Find(trustor AgentID, t task.Task, p Policy) SearchResult {
 	default:
 		res = s.findSerial(trustor, t, p, st)
 	}
-	searchPool.Put(st)
+	releaseState(st)
 	return res
 }
 

@@ -243,6 +243,16 @@ type EdgeMemo struct {
 	// charVal[c][e] is CharTW of edge e for one characteristic (the inner
 	// fraction of eq. 4); blocked when no record covers the characteristic.
 	charVal map[task.Characteristic][]float64
+	// modelVal[name][t][e] is the hop value of edge e under a registered
+	// non-policy TrustModel, keyed like consVal by the full task each table
+	// was built for (modelTask); policy adapters use the legacy tables
+	// above. Lazily allocated — a policy-only sweep never creates them.
+	modelVal  map[string]map[task.Type][]float64
+	modelTask map[string]map[task.Type]task.Task
+	// modelScorer caches the per-epoch trained state of EpochTrainable
+	// models, keyed by model name: training runs once per (epoch, model)
+	// in RequireModel, and the scorer dies with the memo.
+	modelScorer map[string]EdgeScorer
 }
 
 // NewEdgeMemo creates an empty memo over a view. workers bounds the
@@ -284,6 +294,17 @@ func (m *EdgeMemo) Release() {
 	for c, vals := range m.charVal {
 		m.pool.putTable(vals)
 		delete(m.charVal, c)
+	}
+	for name, byType := range m.modelVal {
+		for t, vals := range byType {
+			m.pool.putTable(vals)
+			delete(byType, t)
+		}
+		delete(m.modelVal, name)
+		delete(m.modelTask, name)
+	}
+	for name := range m.modelScorer {
+		delete(m.modelScorer, name)
 	}
 }
 
@@ -347,6 +368,110 @@ func (m *EdgeMemo) Require(p Policy, tasks []task.Task) {
 	}
 }
 
+// RequireModel is Require dispatching through a TrustModel: policy
+// adapters route to the legacy per-policy tables (bit-identical to the
+// pre-interface path), every other model gets per-type hop tables built
+// from its HopTW — or, for EpochTrainable models, from a scorer trained
+// once per epoch and cached on the memo. Like Require it must not run
+// concurrently with searches, and requiring covered tasks is free.
+func (m *EdgeMemo) RequireModel(mdl TrustModel, tasks []task.Task) {
+	if p, ok := modelPolicy(mdl); ok {
+		m.Require(p, tasks)
+		return
+	}
+	name := mdl.Name()
+	scorer := m.trainModel(mdl)
+	if m.modelVal == nil {
+		m.modelVal = make(map[string]map[task.Type][]float64)
+		m.modelTask = make(map[string]map[task.Type]task.Task)
+	}
+	byType := m.modelVal[name]
+	taskOf := m.modelTask[name]
+	if byType == nil {
+		byType = make(map[task.Type][]float64)
+		taskOf = make(map[task.Type]task.Task)
+		m.modelVal[name] = byType
+		m.modelTask[name] = taskOf
+	}
+	ctx := HopContext{Tasks: m.view.tasks, Norm: m.norm}
+	for _, t := range tasks {
+		if prev, ok := taskOf[t.Type()]; ok && prev.Equal(t) {
+			continue
+		}
+		t := t
+		if old, ok := byType[t.Type()]; ok {
+			m.pool.putTable(old)
+		}
+		if scorer != nil {
+			byType[t.Type()] = m.tableEdge(func(e int32) (float64, bool) {
+				return scorer.EdgeTW(m.view, e, t)
+			})
+		} else {
+			byType[t.Type()] = m.tableEdge(func(e int32) (float64, bool) {
+				return mdl.HopTW(ctx, m.view.EdgeRecords(e), t)
+			})
+		}
+		taskOf[t.Type()] = t
+	}
+}
+
+// trainModel returns the per-epoch scorer of an EpochTrainable model,
+// training it on first use; nil for plain models. Not concurrent-safe —
+// callers go through RequireModel before the parallel search phase.
+func (m *EdgeMemo) trainModel(mdl TrustModel) EdgeScorer {
+	tr, ok := mdl.(EpochTrainable)
+	if !ok {
+		return nil
+	}
+	if sc := m.modelScorer[mdl.Name()]; sc != nil {
+		return sc
+	}
+	sc := tr.TrainEpoch(m.view, m.norm, m.workers)
+	if m.modelScorer == nil {
+		m.modelScorer = make(map[string]EdgeScorer)
+	}
+	m.modelScorer[mdl.Name()] = sc
+	return sc
+}
+
+// modelTable returns the per-edge hop table RequireModel built for
+// (mdl, t), or nil when absent or built for a same-type task with
+// different contents (the search then computes hops per edge — slower but
+// identical).
+func (m *EdgeMemo) modelTable(mdl TrustModel, t task.Task) []float64 {
+	if m == nil {
+		return nil
+	}
+	byType := m.modelVal[mdl.Name()]
+	if byType == nil {
+		return nil
+	}
+	if prev, ok := m.modelTask[mdl.Name()][t.Type()]; !ok || !prev.Equal(t) {
+		return nil
+	}
+	return byType[t.Type()]
+}
+
+// ModelEdgeTW scores one directed view edge through a model — the
+// single-edge lens probes and direct-edge queries use. It reads the memo
+// table when RequireModel built one for this exact task, else the trained
+// scorer, else the model's evidence-local HopTW over the edge's records.
+// An untrained EpochTrainable model panics: silently falling back to the
+// untrained lens would let two code paths disagree about the same edge.
+func (m *EdgeMemo) ModelEdgeTW(mdl TrustModel, e int32, t task.Task) (float64, bool) {
+	if vals := m.modelTable(mdl, t); vals != nil {
+		v := vals[e]
+		return v, !math.IsNaN(v)
+	}
+	if _, trainable := mdl.(EpochTrainable); trainable {
+		if sc := m.modelScorer[mdl.Name()]; sc != nil {
+			return sc.EdgeTW(m.view, e, t)
+		}
+		panic(fmt.Sprintf("core: ModelEdgeTW on untrained model %q (call RequireModel first)", mdl.Name()))
+	}
+	return mdl.HopTW(HopContext{Tasks: m.view.tasks, Norm: m.norm}, m.view.EdgeRecords(e), t)
+}
+
 // typeTable returns the per-edge hop table for (t, p), or nil when Require
 // has not built it (the search then falls back to computing hops from the
 // arena records, which is still lock-free and bit-identical).
@@ -373,11 +498,19 @@ func (m *EdgeMemo) charTable(c task.Characteristic) []float64 {
 
 // table evaluates compute over every edge's records in parallel chunks.
 func (m *EdgeMemo) table(compute func(recs []CompactRecord) (float64, bool)) []float64 {
+	return m.tableEdge(func(e int32) (float64, bool) {
+		return compute(m.view.EdgeRecords(e))
+	})
+}
+
+// tableEdge is table for computations that need the edge index itself
+// (trained scorers) rather than just the edge's records.
+func (m *EdgeMemo) tableEdge(compute func(e int32) (float64, bool)) []float64 {
 	ne := m.view.NumEdges()
 	vals := m.pool.GetTable(ne)
 	fill := func(lo, hi int) {
 		for e := lo; e < hi; e++ {
-			val, ok := compute(m.view.EdgeRecords(int32(e)))
+			val, ok := compute(int32(e))
 			if !ok {
 				val = blocked
 			}

@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"siot/internal/adversary"
+	"siot/internal/core"
 	"siot/internal/report"
 	"siot/internal/stats"
 )
@@ -110,6 +111,10 @@ type Options struct {
 	// Collude wraps the attack-* experiments' model in a coordinated
 	// collusion ring (mutual promotion among the attackers).
 	Collude bool
+	// Model restricts the model-matrix experiment to one registered trust
+	// model (see core.ParseModel for the names); "" evaluates every
+	// registered model. Other experiments ignore it.
+	Model string
 }
 
 // attackOverrides applies the attack-related option overrides to a
@@ -184,6 +189,20 @@ var runners = map[string]func(o Options) Result{
 		return RunAttack(o.attackOverrides(DefaultAttackConfig(o.Seed,
 			adversary.Collusion{Of: adversary.BadMouthing{}})))
 	},
+	"model-matrix": func(o Options) Result {
+		cfg := DefaultModelMatrixConfig(o.Seed)
+		cfg.Parallelism = o.Parallelism
+		if o.Attackers > 0 {
+			cfg.Attackers = o.Attackers
+		}
+		if o.Model != "" {
+			// o.Model has been validated by RunOpts.
+			if m, err := core.ParseModel(o.Model); err == nil {
+				cfg.Models = []core.TrustModel{m}
+			}
+		}
+		return RunModelMatrix(cfg)
+	},
 }
 
 // Names lists the registered experiment IDs in sorted order.
@@ -211,6 +230,11 @@ func RunOpts(name string, o Options) (Result, error) {
 	}
 	if _, err := adversary.Parse(o.Attack); err != nil {
 		return nil, err
+	}
+	if o.Model != "" {
+		if _, err := core.ParseModel(o.Model); err != nil {
+			return nil, err
+		}
 	}
 	return r(o), nil
 }

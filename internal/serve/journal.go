@@ -41,8 +41,14 @@ import (
 // no served query can reference an epoch the disk has not seen.
 
 // journalVersion is bumped on breaking format changes. Version 2 introduced
-// the per-line CRC envelope.
-const journalVersion = 2
+// the per-line CRC envelope; version 3 superseded the header's policy field
+// with the registered trust-model name (Replay and Recover still speak
+// version 2 bit-for-bit — see replayHeader).
+const journalVersion = 3
+
+// prevJournalVersion is the oldest header version Replay and Recover still
+// accept: version-2 journals (bare policy header) replay byte-for-byte.
+const prevJournalVersion = 2
 
 // FsyncMode selects when the journal fsyncs the underlying file.
 type FsyncMode int
@@ -104,14 +110,19 @@ type journalLine struct {
 // world. Replay and Recover rebuild the identical population, task universe,
 // and searcher from these fields alone.
 type headerLine struct {
-	Version int     `json:"version"`
-	Net     string  `json:"net"`
-	Nodes   int     `json:"nodes"`
-	Seed    uint64  `json:"seed"`
-	Chars   int     `json:"chars"`
-	Policy  string  `json:"policy"`
-	Seeded  bool    `json:"seeded"`
-	Theta   float64 `json:"theta"`
+	Version int    `json:"version"`
+	Net     string `json:"net"`
+	Nodes   int    `json:"nodes"`
+	Seed    uint64 `json:"seed"`
+	Chars   int    `json:"chars"`
+	// Policy pins the trust policy of version-2 headers. Version 3
+	// supersedes it with Model and omits it.
+	Policy string `json:"policy,omitempty"`
+	// Model names the registered trust model (version 3 and later). An
+	// unregistered name is a hard replay error, never a silent default.
+	Model  string  `json:"model,omitempty"`
+	Seeded bool    `json:"seeded"`
+	Theta  float64 `json:"theta"`
 }
 
 // eventLine is one ingested event, journaled at apply time by the writer

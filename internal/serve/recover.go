@@ -78,7 +78,7 @@ func Recover(f RecoverFile, cfg Config) (*Engine, RecoverStats, error) {
 	// World recipe comes from the header; scheduling and durability knobs
 	// from the caller.
 	cfg.Net, cfg.Nodes, cfg.Seed, cfg.Chars = hcfg.Net, hcfg.Nodes, hcfg.Seed, hcfg.Chars
-	cfg.Policy, cfg.Seeded, cfg.Theta = hcfg.Policy, hcfg.Seeded, hcfg.Theta
+	cfg.Model, cfg.Seeded, cfg.Theta = hcfg.Model, hcfg.Seeded, hcfg.Theta
 	w, err := buildWorld(cfg)
 	if err != nil {
 		return nil, stats, fmt.Errorf("serve: recover: %w", err)

@@ -26,9 +26,23 @@ type replayEpoch struct {
 	memo *core.EdgeMemo
 }
 
+// ErrJournalVersion is returned (wrapped) by Replay and Recover when the
+// journal header carries a version this build does not speak. Match with
+// errors.Is.
+var ErrJournalVersion = errors.New("unsupported journal header version")
+
+// ErrJournalModel is returned (wrapped) by Replay and Recover when the
+// journal header names a trust model — or, in version-2 headers, a policy —
+// that is not registered in this build. Replaying under a silently
+// substituted model would diverge on the first non-direct query, so the
+// header is rejected up front instead. Match with errors.Is.
+var ErrJournalModel = errors.New("unknown trust model in journal header")
+
 // replayHeader reads and validates the journal's first line, which must be
-// an intact header of the supported version, and returns the fully
-// defaulted config it pins. Shared by Replay and Recover.
+// an intact header of a supported version, and returns the fully defaulted
+// config it pins. Shared by Replay and Recover. Version 2 headers (bare
+// policy, pre-zoo) resolve to the policy's adapter model and replay
+// byte-for-byte; version 3 headers name any registered model.
 func replayHeader(s *journalScanner) (Config, error) {
 	line, err := s.next()
 	if err != nil {
@@ -38,16 +52,26 @@ func replayHeader(s *journalScanner) (Config, error) {
 		return Config{}, fmt.Errorf("journal starts with %q, want header", line.Kind)
 	}
 	h := *line.Header
-	if h.Version != journalVersion {
-		return Config{}, fmt.Errorf("unsupported journal version %d (want %d)", h.Version, journalVersion)
-	}
-	policy, err := core.ParsePolicy(h.Policy)
-	if err != nil {
-		return Config{}, err
+	var mdl core.TrustModel
+	switch h.Version {
+	case prevJournalVersion:
+		policy, err := core.ParsePolicy(h.Policy)
+		if err != nil {
+			return Config{}, fmt.Errorf("%w: %v", ErrJournalModel, err)
+		}
+		mdl = policy.Model()
+	case journalVersion:
+		mdl, err = core.ParseModel(h.Model)
+		if err != nil {
+			return Config{}, fmt.Errorf("%w: %v", ErrJournalModel, err)
+		}
+	default:
+		return Config{}, fmt.Errorf("%w: %d (want %d or %d)",
+			ErrJournalVersion, h.Version, prevJournalVersion, journalVersion)
 	}
 	return Config{
 		Net: h.Net, Nodes: h.Nodes, Seed: h.Seed, Chars: h.Chars,
-		Policy: policy, Seeded: h.Seeded, Theta: h.Theta,
+		Model: mdl, Seeded: h.Seeded, Theta: h.Theta,
 	}.withDefaults(), nil
 }
 
@@ -139,7 +163,7 @@ func Replay(r io.Reader) (ReplayStats, error) {
 			}
 			view := w.pop.RoundView(workers, pool)
 			memo := core.NewEdgeMemoPooled(view.TrustView, norm, workers, pool)
-			memo.Require(cfg.Policy, w.setup.Universe.Tasks)
+			memo.RequireModel(cfg.Model, w.setup.Universe.Tasks)
 			epochs[ep.ID] = &replayEpoch{view: view, memo: memo}
 			stats.Epochs++
 		case "query":
@@ -155,7 +179,7 @@ func Replay(r io.Reader) (ReplayStats, error) {
 				return stats, fmt.Errorf("serve: replay: line %d: task type %d out of range", ln, q.Type)
 			}
 			res := answer(w.searcher, ep.view, ep.memo, &sr,
-				core.AgentID(q.Trustor), core.AgentID(q.Trustee), w.setup.Universe.Tasks[q.Type], cfg.Policy)
+				core.AgentID(q.Trustor), core.AgentID(q.Trustee), w.setup.Universe.Tasks[q.Type], cfg.Model)
 			bits := fmt.Sprintf("%016x", math.Float64bits(res.TW))
 			if bits != q.TWBits || res.Found != q.Found || res.Direct != q.Direct {
 				return stats, fmt.Errorf(

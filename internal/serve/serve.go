@@ -38,7 +38,7 @@ import (
 )
 
 // Config parameterizes an Engine. The world-construction fields (Net, Nodes,
-// Seed, Chars, Policy, Seeded, Theta) are recorded in the journal header —
+// Seed, Chars, Model, Seeded, Theta) are recorded in the journal header —
 // they fully determine the initial state, so Replay rebuilds the identical
 // world from the header alone. The operational fields (cadence, queue and
 // batch sizes, workers, fsync mode) affect only scheduling and durability,
@@ -55,8 +55,14 @@ type Config struct {
 	// Chars is the task-characteristic alphabet size (default 5; the
 	// universe holds 2*Chars task types).
 	Chars int
-	// Policy is the trust-transfer method used for non-direct answers.
+	// Policy is the legacy spelling of the trust-transfer method; it is
+	// consulted only when Model is nil (the zero config serves the
+	// traditional policy, exactly as before the trust-model zoo).
 	Policy core.Policy
+	// Model is the trust model used for non-direct answers — any registered
+	// core.TrustModel, including the three policy adapters. Takes precedence
+	// over Policy; the journal header records its name.
+	Model core.TrustModel
 	// Seeded pre-populates experience records (sim.SeedExperience), so the
 	// engine starts with answerable queries instead of a cold store.
 	Seeded bool
@@ -104,6 +110,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Workers <= 0 {
 		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.Model == nil {
+		c.Model = c.Policy.Model()
 	}
 	return c
 }
@@ -277,7 +286,7 @@ func New(cfg Config) (*Engine, error) {
 	e.journal.header(headerLine{
 		Version: journalVersion,
 		Net:     cfg.Net, Nodes: cfg.Nodes, Seed: cfg.Seed, Chars: cfg.Chars,
-		Policy: cfg.Policy.String(), Seeded: cfg.Seeded, Theta: cfg.Theta,
+		Model: cfg.Model.Name(), Seeded: cfg.Seeded, Theta: cfg.Theta,
 	})
 	if !e.captureAndPublish() {
 		return nil, e.journal.lastErr()
@@ -434,7 +443,7 @@ func (e *Engine) Trust(trustor, trustee core.AgentID, typeIdx int) (TrustResult,
 	}
 	pay := ref.Attachment().(*epochPayload)
 	sr := e.results.Get().(*core.SearchResult)
-	res := answer(e.world.searcher, ref.View(), pay.memo, sr, trustor, trustee, e.TaskTypes()[typeIdx], e.cfg.Policy)
+	res := answer(e.world.searcher, ref.View(), pay.memo, sr, trustor, trustee, e.TaskTypes()[typeIdx], e.cfg.Model)
 	e.results.Put(sr)
 	res.Epoch = pay.id
 	ref.Release()
@@ -451,13 +460,18 @@ func (e *Engine) Trust(trustor, trustee core.AgentID, typeIdx int) (TrustResult,
 // answer computes one trust value from a frozen (view, memo) pair. It is
 // shared verbatim by Engine.Trust and Replay — the replay contract is that
 // this function over the re-captured epoch reproduces the journaled bits.
-func answer(s *core.Searcher, view *core.RoundView, memo *core.EdgeMemo, sr *core.SearchResult, trustor, trustee core.AgentID, t task.Task, p core.Policy) TrustResult {
+// The direct-experience channel reads the view's model-independent BestTW
+// (own experience needs no transfer method, and version-2 journals replay
+// byte-for-byte because the policy adapters route the transitive search
+// through the unchanged FindViewInto path); only non-direct answers go
+// through the model.
+func answer(s *core.Searcher, view *core.RoundView, memo *core.EdgeMemo, sr *core.SearchResult, trustor, trustee core.AgentID, t task.Task, m core.TrustModel) TrustResult {
 	if edge, ok := view.EdgeIndex(trustor, trustee); ok {
 		if tw, ok := view.BestTW(edge, t); ok {
 			return TrustResult{TW: tw, Found: true, Direct: true}
 		}
 	}
-	s.FindViewInto(sr, view.TrustView, memo, trustor, t, p)
+	s.FindViewModelInto(sr, view.TrustView, memo, trustor, t, m)
 	for _, c := range sr.Candidates {
 		if c.ID == trustee {
 			return TrustResult{TW: c.TW, Found: true}
@@ -615,7 +629,7 @@ func (e *Engine) captureAndPublish() bool {
 	id := e.epochs.Load()
 	view := e.world.pop.RoundView(e.cfg.Workers, e.pool)
 	memo := core.NewEdgeMemoPooled(view.TrustView, e.world.pop.Config().Update.Norm, e.cfg.Workers, e.pool)
-	memo.Require(e.cfg.Policy, e.TaskTypes())
+	memo.RequireModel(e.cfg.Model, e.TaskTypes())
 	e.journal.epoch(epochLine{ID: id, Events: e.applied.Load()})
 	if err := e.journal.syncNow(); err != nil {
 		memo.Release()

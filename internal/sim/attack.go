@@ -194,3 +194,107 @@ func (e *Engine) PerceivedTrust(round int, tk task.Task) (honest, attacker float
 	}
 	return honest, attacker
 }
+
+// Perceived is one trust model's probe outcome: the mean perceived trust
+// of honest trustee candidates and of attacker candidates (their
+// difference is the model's trust gap).
+type Perceived struct {
+	Honest   float64
+	Attacker float64
+}
+
+// PerceivedTrustModels is PerceivedTrust evaluated once per model in a
+// single probe epoch: one capture, one shared EdgeMemo (trainable models
+// fit on it exactly once), and every model scored over the same snapshot.
+// Unlike PerceivedTrust — whose own-experience lens is the rounds'
+// policy-agnostic RoundView.BestTW — each model here sees direct edges
+// and one-hop recommendations through its own single-edge lens
+// (EdgeMemo.ModelEdgeTW), so the cross-model resilience matrix compares
+// how each model's own arithmetic perceives the attack. Attack forgeries
+// are asserted numbers, identical under every model. Read-only, like
+// PerceivedTrust.
+func (e *Engine) PerceivedTrustModels(round int, tk task.Task, models []core.TrustModel) []Perceived {
+	e.init()
+	p := e.Pop
+	var ctx adversary.Context
+	enabled := p.AttackEnabled()
+	if enabled {
+		ctx = e.attackContext(e.mutualityLabel(), round)
+	}
+	e.Rounds.Publish(p.RoundView(e.workers(), epochArenas))
+	ep := e.Rounds.Acquire()
+	view := ep.View()
+	memo := core.NewEdgeMemoPooled(view.TrustView, p.cfg.Update.Norm, e.workers(), epochArenas)
+	probe := []task.Task{tk}
+	out := make([]Perceived, len(models))
+	for mi, m := range models {
+		memo.RequireModel(m, probe)
+		var honestSum, attackerSum float64
+		honestN, attackerN := 0, 0
+		for i := range p.Trustors {
+			for k, y := range e.trusteeNbrs[i] {
+				tw := e.candidateModelTW(view, memo, m, enabled, ctx, i, e.trusteeEdges[i][k], y, tk)
+				if p.attackers[y] {
+					attackerSum += tw
+					attackerN++
+				} else {
+					honestSum += tw
+					honestN++
+				}
+			}
+		}
+		if honestN > 0 {
+			out[mi].Honest = honestSum / float64(honestN)
+		}
+		if attackerN > 0 {
+			out[mi].Attacker = attackerSum / float64(attackerN)
+		}
+	}
+	memo.Release()
+	ep.Release()
+	e.Rounds.Retire()
+	return out
+}
+
+// candidateModelTW is candidateTW through a model's single-edge lens:
+// direct experience via ModelEdgeTW, the recommendation channel (attackers
+// forging) for strangers, the neutral prior last.
+func (e *Engine) candidateModelTW(view *core.RoundView, memo *core.EdgeMemo, m core.TrustModel, attacked bool, ctx adversary.Context, i int, edge int32, y core.AgentID, tk task.Task) float64 {
+	if tw, ok := memo.ModelEdgeTW(m, edge, tk); ok {
+		return tw
+	}
+	if attacked {
+		if rec, ok := e.recommendedModelTW(view, memo, m, ctx, e.socialNbrs[i], y, tk); ok {
+			return rec
+		}
+	}
+	return 0.5
+}
+
+// recommendedModelTW is recommendedTW with each recommender's z→y report
+// read through the model's single-edge lens instead of RoundView.BestTW.
+func (e *Engine) recommendedModelTW(view *core.RoundView, memo *core.EdgeMemo, m core.TrustModel, ctx adversary.Context, nbrs []core.AgentID, y core.AgentID, tk task.Task) (float64, bool) {
+	p := e.Pop
+	model := p.cfg.Attack.Model
+	var sum float64
+	n := 0
+	for _, z := range nbrs {
+		if p.attackers[z] {
+			if tw, forged := model.ForgeRecommendation(ctx, z, y); forged {
+				sum += tw
+				n++
+				continue
+			}
+		}
+		if edge, ok := view.EdgeIndex(z, y); ok {
+			if tw, ok := memo.ModelEdgeTW(m, edge, tk); ok {
+				sum += tw
+				n++
+			}
+		}
+	}
+	if n == 0 {
+		return 0, false
+	}
+	return sum / float64(n), true
+}

@@ -402,6 +402,16 @@ func (e *Engine) TransitivityRun(setup TransitivitySetup, policy core.Policy, se
 	return transitivityRun(e.Pop, setup, policy, seed, e.workers())
 }
 
+// TransitivityRunModel is TransitivityRun dispatching through a TrustModel:
+// policy adapters reproduce TransitivityRun byte for byte, and registered
+// non-policy models (hellinger-mf, feature-weighted, ...) run the same
+// captured-epoch sweep through their own hop evaluation.
+func (e *Engine) TransitivityRunModel(setup TransitivitySetup, m core.TrustModel, seed uint64) TransitivityStats {
+	ep := e.TransitivityEpoch(setup)
+	defer ep.Release()
+	return ep.RunModel(m, seed)
+}
+
 // transitivityRun captures a frozen epoch and plays one run on it: the
 // per-trustor task sequence is pre-drawn from the shared stream (matching
 // the legacy serial order), the searches fan out over the pool against the

@@ -113,6 +113,15 @@ func (ep *TransitivityEpoch) Run(policy core.Policy, seed uint64) TransitivitySt
 	return ep.SweepSharded(policy, seed, defaultSweepShard)
 }
 
+// RunModel is Run dispatching through a TrustModel: the three policy
+// adapters reproduce Run byte for byte (their names equal the policy
+// strings, so even the outcome stream keys identically), and registered
+// non-policy models ride the same sharded sweep with their hop tables
+// built by RequireModel.
+func (ep *TransitivityEpoch) RunModel(m core.TrustModel, seed uint64) TransitivityStats {
+	return ep.SweepShardedModel(m, seed, defaultSweepShard)
+}
+
 // SweepSharded is Run processing the trustors in consecutive shards of the
 // given width (<= 0 means one shard): per shard it draws the trustors'
 // tasks, tops up the memo, fans the searches out over the worker pool, and
@@ -128,12 +137,21 @@ func (ep *TransitivityEpoch) Run(policy core.Policy, seed uint64) TransitivitySt
 // consumes the outcome stream in the same ascending trustor order as the
 // monolithic loop (TestSweepShardedEquivalence pins all of this).
 func (ep *TransitivityEpoch) SweepSharded(policy core.Policy, seed uint64, shard int) TransitivityStats {
+	return ep.SweepShardedModel(policy.Model(), seed, shard)
+}
+
+// SweepShardedModel is SweepSharded dispatching through a TrustModel. The
+// outcome stream is keyed by the model's name — for policy adapters that
+// name IS the historical policy string, so the pre-interface draw sequence
+// (and every golden byte) is preserved; a new model gets its own
+// independent stream by construction.
+func (ep *TransitivityEpoch) SweepShardedModel(m core.TrustModel, seed uint64, shard int) TransitivityStats {
 	p := ep.p
 	if shard <= 0 {
 		shard = len(p.Trustors)
 	}
 	taskRng := rng.New(seed, "transitivity-tasks", p.Net.Profile.Name)
-	outcomeRng := rng.New(seed, "transitivity-outcomes", p.Net.Profile.Name, policy.String())
+	outcomeRng := rng.New(seed, "transitivity-outcomes", p.Net.Profile.Name, m.Name())
 	ref := ep.handle.Acquire()
 	if ref == nil {
 		panic("sim: Run on a released TransitivityEpoch")
@@ -156,11 +174,12 @@ func (ep *TransitivityEpoch) SweepSharded(policy core.Policy, seed uint64, shard
 		}
 		// Pre-pass: memoize every per-edge hop value this shard's searches
 		// will read, in parallel over the CSR edge array, before the
-		// read-only fan-out. Tables built for earlier shards are reused.
-		ep.memo.Require(policy, tasks)
+		// read-only fan-out. Tables built for earlier shards are reused
+		// (and trainable models train once, on the first shard).
+		ep.memo.RequireModel(m, tasks)
 		results = mapTrustorsInto(results, ids, ep.workers, func(i int, x core.AgentID) findSummary {
 			res := resultPool.Get().(*core.SearchResult)
-			ep.s.FindViewInto(res, view, ep.memo, x, tasks[i], policy)
+			ep.s.FindViewModelInto(res, view, ep.memo, x, tasks[i], m)
 			sum := findSummary{candidates: len(res.Candidates), inquired: res.Inquired}
 			sum.best, sum.found = res.Best()
 			resultPool.Put(res)
@@ -189,7 +208,13 @@ func (ep *TransitivityEpoch) SweepSharded(policy core.Policy, seed uint64, shard
 // sweeps at scales where per-trustor scratch must stay bounded. Equivalent
 // to TransitivityRun for every shard width.
 func SweepSharded(p *Population, setup TransitivitySetup, policy core.Policy, seed uint64, workers, shard int) TransitivityStats {
+	return SweepShardedModel(p, setup, policy.Model(), seed, workers, shard)
+}
+
+// SweepShardedModel is SweepSharded dispatching through a TrustModel: the
+// one-shot streaming entry point for any registered model.
+func SweepShardedModel(p *Population, setup TransitivitySetup, m core.TrustModel, seed uint64, workers, shard int) TransitivityStats {
 	ep := newTransitivityEpoch(p, setup, workers)
 	defer ep.Release()
-	return ep.SweepSharded(policy, seed, shard)
+	return ep.SweepShardedModel(m, seed, shard)
 }

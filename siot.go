@@ -170,6 +170,34 @@ const (
 	PolicyAggressive = core.PolicyAggressive
 )
 
+// TrustModel is one pluggable trust-evaluation method of the model zoo: a
+// named single-hop lens plus a combine/threshold descriptor, dispatchable
+// through the transitivity search, the frozen-epoch memo, and the serving
+// engine. The three Policy constants are registered as adapters under
+// their policy names.
+type TrustModel = core.TrustModel
+
+// ModelSpec describes how a model's hop values combine along a path.
+type ModelSpec = core.ModelSpec
+
+// EdgeScorer is a trained per-edge lens over a frozen TrustView (the
+// output of an EpochTrainable model's TrainEpoch).
+type EdgeScorer = core.EdgeScorer
+
+// EpochTrainable is a TrustModel fit per frozen epoch (e.g. hellinger-mf).
+type EpochTrainable = core.EpochTrainable
+
+// ParseModel resolves a registered trust-model name ("traditional",
+// "hellinger-mf", ...). Unknown names error.
+func ParseModel(s string) (TrustModel, error) { return core.ParseModel(s) }
+
+// ModelNames lists the registered trust models in sorted order.
+func ModelNames() []string { return core.ModelNames() }
+
+// RegisterModel adds a trust model to the process-wide registry; it panics
+// on an empty or duplicate name.
+func RegisterModel(m TrustModel) { core.RegisterModel(m) }
+
 // NewStore creates an empty trust store for an agent.
 func NewStore(owner AgentID, cfg UpdateConfig) *Store { return core.NewStore(owner, cfg) }
 

@@ -120,14 +120,14 @@ func TestFacadeEnvironment(t *testing.T) {
 
 func TestFacadeExperimentRegistry(t *testing.T) {
 	names := siot.ExperimentNames()
-	if len(names) != 17 {
+	if len(names) != 18 {
 		t.Fatalf("experiments = %v", names)
 	}
 	have := map[string]bool{}
 	for _, n := range names {
 		have[n] = true
 	}
-	for _, want := range []string{"attack-badmouth", "attack-onoff", "attack-whitewash", "attack-collusion"} {
+	for _, want := range []string{"attack-badmouth", "attack-onoff", "attack-whitewash", "attack-collusion", "model-matrix"} {
 		if !have[want] {
 			t.Fatalf("facade registry missing %q: %v", want, names)
 		}
@@ -176,5 +176,27 @@ func TestFacadeUpdate(t *testing.T) {
 	}
 	if e.Trustworthiness(siot.UnitNormalizer()) != 1 {
 		t.Fatal("trustworthiness wrong")
+	}
+}
+
+func TestFacadeModelRegistry(t *testing.T) {
+	names := siot.ModelNames()
+	if len(names) < 5 {
+		t.Fatalf("models = %v", names)
+	}
+	for _, want := range []string{"traditional", "conservative", "aggressive", "hellinger-mf", "feature-weighted"} {
+		m, err := siot.ParseModel(want)
+		if err != nil {
+			t.Fatalf("ParseModel(%q): %v", want, err)
+		}
+		if m.Name() != want {
+			t.Fatalf("ParseModel(%q).Name() = %q", want, m.Name())
+		}
+	}
+	if _, err := siot.ParseModel("not-a-model"); err == nil {
+		t.Fatal("unknown model accepted")
+	}
+	if m, err := siot.ParseModel(siot.PolicyAggressive.String()); err != nil || m.Name() != "aggressive" {
+		t.Fatal("policy adapter not registered under its policy name")
 	}
 }
